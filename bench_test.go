@@ -1,0 +1,304 @@
+// Package iatsim_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md for the
+// experiment index). Each BenchmarkFigNN runs a reduced-sweep version of
+// the corresponding experiment and reports the figure's headline quantities
+// via b.ReportMetric; cmd/experiments runs the full sweeps.
+//
+//	go test -bench=. -benchmem
+package iatsim_test
+
+import (
+	"io"
+	"testing"
+
+	"iatsim/internal/bridge"
+	"iatsim/internal/cache"
+	"iatsim/internal/core"
+	"iatsim/internal/exp"
+	"iatsim/internal/mem"
+	"iatsim/internal/sim"
+)
+
+// BenchmarkTable1PlatformStep measures the raw simulation engine: one epoch
+// of the Table I machine (18 cores, 24.75MB LLC, idle tenants).
+func BenchmarkTable1PlatformStep(b *testing.B) {
+	p := sim.NewPlatform(sim.XeonGold6140(100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+// BenchmarkTable2DaemonIteration measures one IAT control iteration (poll +
+// transition + re-alloc) with the Table II parameters over a quiet 8-tenant
+// machine — the per-interval cost the paper bounds at 800us.
+func BenchmarkTable2DaemonIteration(b *testing.B) {
+	o := exp.DefaultFig15Opts()
+	o.TenantCounts = []int{8}
+	o.CoresPer = []int{2}
+	o.Iterations = 20
+	var rows []exp.Fig15Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig15(io.Discard, o)
+	}
+	b.ReportMetric(rows[0].StableUS, "stable-us/iter")
+	b.ReportMetric(rows[0].UnstableUS, "unstable-us/iter")
+}
+
+// BenchmarkFig03LeakyDMAMotivation regenerates one Fig. 3 contrast: the
+// RFC2544 zero-drop rate of 64B l3fwd with a deep vs shallow Rx ring.
+func BenchmarkFig03LeakyDMAMotivation(b *testing.B) {
+	o := exp.DefaultFig3Opts()
+	o.Rings = []int{64, 1024}
+	o.Sizes = []int{64}
+	var rows []exp.Fig3Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig3(io.Discard, o)
+	}
+	b.ReportMetric(rows[0].MaxMpps, "Mpps-ring64")
+	b.ReportMetric(rows[1].MaxMpps, "Mpps-ring1024")
+}
+
+// BenchmarkFig04LatentContenderMotivation regenerates one Fig. 4 contrast:
+// X-Mem throughput with dedicated vs DDIO-overlapped ways at a 4MB working
+// set.
+func BenchmarkFig04LatentContenderMotivation(b *testing.B) {
+	o := exp.DefaultFig4Opts()
+	o.WorkingSets = []int{4}
+	var rows []exp.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig4(io.Discard, o)
+	}
+	b.ReportMetric(rows[0].MopsPerSec, "Mops-dedicated")
+	b.ReportMetric(rows[1].MopsPerSec, "Mops-ddio-ovlp")
+	b.ReportMetric(rows[1].AvgLatencyNS/rows[0].AvgLatencyNS, "latency-ratio")
+}
+
+// BenchmarkFig08LeakyDMA regenerates the Fig. 8 headline at 1.5KB: DDIO
+// miss rate and memory bandwidth, baseline vs IAT.
+func BenchmarkFig08LeakyDMA(b *testing.B) {
+	o := exp.DefaultFig8Opts()
+	o.Sizes = []int{1500}
+	var rows []exp.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig8(io.Discard, o)
+	}
+	base, iat := rows[0], rows[1]
+	b.ReportMetric(base.DDIOMissPS, "ddio-miss/s-base")
+	b.ReportMetric(iat.DDIOMissPS, "ddio-miss/s-iat")
+	b.ReportMetric(base.MemGBps, "memGBps-base")
+	b.ReportMetric(iat.MemGBps, "memGBps-iat")
+}
+
+// BenchmarkFig09FlowScaling regenerates the Fig. 9 headline: OVS IPC at
+// 100k flows, baseline vs IAT.
+func BenchmarkFig09FlowScaling(b *testing.B) {
+	o := exp.DefaultFig9Opts()
+	o.FlowSteps = []int{1, 100000}
+	var rows []exp.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig9(io.Discard, o)
+	}
+	var baseIPC, iatIPC float64
+	var ways int
+	for _, r := range rows {
+		if r.Flows != 100000 {
+			continue
+		}
+		if r.Mode == "baseline" {
+			baseIPC = r.OVSIPC
+		} else {
+			iatIPC, ways = r.OVSIPC, r.OVSWays
+		}
+	}
+	b.ReportMetric(baseIPC, "ipc-base")
+	b.ReportMetric(iatIPC, "ipc-iat")
+	b.ReportMetric(float64(ways), "ovs-ways-iat")
+}
+
+// BenchmarkFig10LatentContender regenerates the Fig. 10 headline at 1.5KB:
+// container 4's phase-3 throughput under baseline, core-only and IAT.
+func BenchmarkFig10LatentContender(b *testing.B) {
+	o := exp.DefaultFig10Opts()
+	o.Sizes = []int{1500}
+	o.Phase1NS, o.Phase2NS, o.Phase3NS = 1e9, 3e9, 3e9
+	var rows []exp.Fig10Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig10(io.Discard, o)
+	}
+	for _, r := range rows {
+		switch r.Mode {
+		case "baseline":
+			b.ReportMetric(r.P3Mops, "P3-Mops-base")
+		case "core-only":
+			b.ReportMetric(r.P3Mops, "P3-Mops-coreonly")
+		case "iat":
+			b.ReportMetric(r.P3Mops, "P3-Mops-iat")
+		}
+	}
+}
+
+// BenchmarkFig11Dynamics regenerates the Fig. 11 time series and reports
+// how quickly IAT reacts to the working-set phase change.
+func BenchmarkFig11Dynamics(b *testing.B) {
+	o := exp.DefaultFig10Opts()
+	o.Phase1NS, o.Phase2NS, o.Phase3NS = 1e9, 2e9, 2e9
+	var series []exp.Fig11Sample
+	for i := 0; i < b.N; i++ {
+		series = exp.RunFig11(io.Discard, o)
+	}
+	// Reaction time: first allocation change after the t=Phase1 event.
+	react := 0.0
+	for _, s := range series {
+		if s.TimeNS > o.Phase1NS && s.C4Ways != series[0].C4Ways {
+			react = (s.TimeNS - o.Phase1NS) / 1e9
+			break
+		}
+	}
+	b.ReportMetric(react, "reaction-s")
+	b.ReportMetric(float64(len(series)), "samples")
+}
+
+// BenchmarkFig12Applications regenerates one Fig. 12 cell: RocksDB
+// execution time co-running with Redis, worst placement, baseline vs IAT,
+// normalised to solo.
+func BenchmarkFig12Applications(b *testing.B) {
+	var soloNS, baseNS, iatNS float64
+	for i := 0; i < b.N; i++ {
+		opts := exp.AppMixOpts{Net: "redis", App: "rocksdb:C", TargetOps: 30000}
+		s := opts
+		s.Solo = true
+		soloNS = exp.RunAppMix(s).ExecNS
+		w := opts
+		w.Placement = exp.PlacePC
+		baseNS = exp.RunAppMix(w).ExecNS
+		x := w
+		x.IAT = true
+		x.IntervalNS = 0.25e9
+		iatNS = exp.RunAppMix(x).ExecNS
+	}
+	b.ReportMetric(baseNS/soloNS, "norm-exec-base")
+	b.ReportMetric(iatNS/soloNS, "norm-exec-iat")
+}
+
+// BenchmarkFig13RocksDBLatency regenerates one Fig. 13 cell: RocksDB
+// YCSB-A normalised weighted latency under the worst placement vs IAT.
+func BenchmarkFig13RocksDBLatency(b *testing.B) {
+	var base, iat float64
+	for i := 0; i < b.N; i++ {
+		opts := exp.AppMixOpts{Net: "redis", App: "rocksdb:A", TargetOps: 30000}
+		s := opts
+		s.Solo = true
+		solo := exp.RunAppMix(s)
+		w := opts
+		w.Placement = exp.PlacePC
+		base = exp.WeightedLatency(exp.RunAppMix(w).RocksHists, solo.RocksHists)
+		x := w
+		x.IAT = true
+		x.IntervalNS = 0.25e9
+		iat = exp.WeightedLatency(exp.RunAppMix(x).RocksHists, solo.RocksHists)
+	}
+	b.ReportMetric(base, "norm-wlat-base")
+	b.ReportMetric(iat, "norm-wlat-iat")
+}
+
+// BenchmarkFig14Redis regenerates one Fig. 14 cell: Redis YCSB-A mean
+// latency under co-location (cache-hungry BE on the DDIO ways) vs IAT,
+// normalised to the networking-solo run.
+func BenchmarkFig14Redis(b *testing.B) {
+	var baseAvg, iatAvg float64
+	for i := 0; i < b.N; i++ {
+		opts := exp.AppMixOpts{Net: "redis", App: "mcf", RedisWorkload: "A",
+			TargetInstr: 1 << 62, MaxNS: 2.5e9}
+		s := opts
+		s.NetOnly = true
+		solo := exp.RunAppMix(s)
+		w := opts
+		w.Placement = exp.PlaceBE10
+		baseAvg = exp.RunAppMix(w).RedisMeanNS / solo.RedisMeanNS
+		x := w
+		x.IAT = true
+		x.IntervalNS = 0.25e9
+		iatAvg = exp.RunAppMix(x).RedisMeanNS / solo.RedisMeanNS
+	}
+	b.ReportMetric(baseAvg, "norm-avg-base")
+	b.ReportMetric(iatAvg, "norm-avg-iat")
+}
+
+// BenchmarkFig15IATOverhead regenerates Fig. 15's scaling point: the
+// daemon's per-iteration wall-clock cost at 17 single-core tenants.
+func BenchmarkFig15IATOverhead(b *testing.B) {
+	o := exp.DefaultFig15Opts()
+	o.TenantCounts = []int{17}
+	o.CoresPer = []int{1}
+	o.Iterations = 30
+	var rows []exp.Fig15Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunFig15(io.Discard, o)
+	}
+	b.ReportMetric(rows[0].StableUS, "stable-us")
+	b.ReportMetric(rows[0].UnstableUS, "unstable-us")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkLLCAccess measures one demand access through the full LLC model.
+func BenchmarkLLCAccess(b *testing.B) {
+	llc := cache.NewLLC(sim.XeonGold6140(1).Hier.LLC, 18)
+	mask := cache.ContiguousMask(0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		llc.Access(0, uint64(i%100000)<<6, i&1 == 0, mask)
+	}
+}
+
+// BenchmarkHierarchyAccess measures one access through L1/L2/LLC/memory.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	cfg := sim.XeonGold6140(1)
+	h := cache.NewHierarchy(cfg.Hier, cfg.FreqGHz, mem.NewController(mem.Config{}))
+	h.Mem().BeginEpoch(1e12)
+	mask := cache.ContiguousMask(0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, uint64(i%100000)<<6, false, mask)
+	}
+}
+
+// BenchmarkDaemonTick measures the zero-work fast path of the daemon (the
+// interval gate), which runs once per simulated epoch.
+func BenchmarkDaemonTick(b *testing.B) {
+	p := sim.NewPlatform(sim.XeonGold6140(100))
+	params := core.DefaultParams()
+	d, err := core.NewDaemon(bridge.NewSystem(p), params, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Tick(params.IntervalNS) // first (baseline) iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick(params.IntervalNS + 1) // gated: the fast path
+	}
+}
+
+// BenchmarkAblationMechanisms quantifies each IAT lever's contribution on
+// the Leaky DMA scenario (beyond-the-paper ablation).
+func BenchmarkAblationMechanisms(b *testing.B) {
+	var rows []exp.AblationMechRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunAblationMechanisms(io.Discard, 100)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.DDIOMissPS, "miss/s-"+r.Variant)
+	}
+}
+
+// BenchmarkAblationDDIOExt measures the Sec. VII future-DDIO proposals.
+func BenchmarkAblationDDIOExt(b *testing.B) {
+	var rows []exp.AblationDDIOExtRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.RunAblationDDIOExt(io.Discard, 100)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.VictimLatNS, "victim-ns-"+r.Variant)
+	}
+}

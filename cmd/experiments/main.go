@@ -1,0 +1,168 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated platform.
+//
+// Usage:
+//
+//	experiments -fig 8          # one figure
+//	experiments -fig 3,4,8,9    # several
+//	experiments -tab 1,2        # tables
+//	experiments -all            # everything (quick sweeps)
+//	experiments -all -full      # everything at the paper's full sweeps
+//
+// Every run prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iatsim/internal/exp"
+)
+
+func main() {
+	figs := flag.String("fig", "", "comma-separated figure numbers to run (3,4,8,9,10,11,12,13,14,15)")
+	tabs := flag.String("tab", "", "comma-separated table numbers to print (1,2)")
+	all := flag.Bool("all", false, "run every table and figure")
+	full := flag.Bool("full", false, "use the paper's full sweeps (slower) instead of the quick defaults")
+	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper ablations (mechanisms, growth policy, future-DDIO, MBA)")
+	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want["fig"+f] = true
+		}
+	}
+	for _, t := range strings.Split(*tabs, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			want["tab"+t] = true
+		}
+	}
+	if *all {
+		for _, k := range []string{"tab1", "tab2", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
+			want[k] = true
+		}
+	}
+	if *ablations {
+		for _, k := range []string{"abl-mech", "abl-growth", "abl-ddioext", "abl-mba", "abl-policy", "abl-storage", "abl-remote", "abl-sens", "abl-resq"} {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// run executes one experiment; fn returns the rows to (optionally)
+	// persist as CSV.
+	run := func(name string, fn func() any) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		rows := fn()
+		if *csvDir != "" && rows != nil {
+			if err := exp.SaveRowsCSV(*csvDir, name, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", name, err)
+			}
+		}
+		fmt.Printf("  [%s done in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	w := os.Stdout
+	run("tab1", func() any { exp.PrintTable1(w); return nil })
+	run("tab2", func() any { exp.PrintTable2(w); return nil })
+	run("fig3", func() any { return exp.RunFig3(w, fig3Opts(*full)) })
+	run("fig4", func() any { return exp.RunFig4(w, fig4Opts(*full)) })
+	run("fig8", func() any { return exp.RunFig8(w, fig8Opts(*full)) })
+	run("fig9", func() any { return exp.RunFig9(w, fig9Opts(*full)) })
+	run("fig10", func() any { return exp.RunFig10(w, fig10Opts(*full)) })
+	run("fig11", func() any { return exp.RunFig11(w, fig10Opts(*full)) })
+	run("fig12", func() any { return exp.RunFig12(w, fig12Opts(*full)) })
+	run("fig13", func() any { return exp.RunFig13(w, fig13Opts(*full)) })
+	run("fig14", func() any { return exp.RunFig14(w, fig13Opts(*full)) })
+	run("fig15", func() any { return exp.RunFig15(w, fig15Opts(*full)) })
+	run("abl-mech", func() any { return exp.RunAblationMechanisms(w, 100) })
+	run("abl-growth", func() any { return exp.RunAblationGrowth(w, 100) })
+	run("abl-ddioext", func() any { return exp.RunAblationDDIOExt(w, 100) })
+	run("abl-mba", func() any { return exp.RunAblationMBA(w, 100) })
+	run("abl-policy", func() any { return exp.RunAblationReplacement(w, 100) })
+	run("abl-storage", func() any { return exp.RunAblationStorage(w, 100) })
+	run("abl-remote", func() any { return exp.RunAblationRemoteSocket(w, 100) })
+	run("abl-sens", func() any { return exp.RunSensitivity(w, 100) })
+	run("abl-resq", func() any { return exp.RunAblationResQ(w, 100) })
+}
+
+func fig3Opts(full bool) exp.Fig3Opts {
+	o := exp.DefaultFig3Opts()
+	if !full {
+		o.Rings = []int{64, 256, 1024}
+	}
+	return o
+}
+
+func fig4Opts(full bool) exp.Fig4Opts {
+	o := exp.DefaultFig4Opts()
+	if !full {
+		o.WorkingSets = []int{4, 8, 16}
+	}
+	return o
+}
+
+func fig8Opts(full bool) exp.Fig8Opts {
+	o := exp.DefaultFig8Opts()
+	if !full {
+		o.Sizes = []int{64, 512, 1500}
+	}
+	return o
+}
+
+func fig9Opts(full bool) exp.Fig9Opts {
+	o := exp.DefaultFig9Opts()
+	if !full {
+		o.FlowSteps = []int{1, 1000, 100000, 1000000}
+	}
+	return o
+}
+
+func fig10Opts(full bool) exp.Fig10Opts {
+	o := exp.DefaultFig10Opts()
+	if full {
+		o.Sizes = []int{64, 256, 512, 1024, 1500}
+	} else {
+		o.Sizes = []int{1500}
+	}
+	return o
+}
+
+func fig12Opts(full bool) exp.Fig12Opts {
+	o := exp.DefaultFig12Opts()
+	if full {
+		o.Apps = exp.AllFig12Apps()
+		o.Corners = exp.Placements()
+	}
+	return o
+}
+
+func fig13Opts(full bool) exp.Fig12Opts {
+	o := exp.DefaultFig12Opts()
+	if !full {
+		o.Apps = []string{"quick"} // A and C only
+		o.Nets = []string{"redis"}
+	}
+	return o
+}
+
+func fig15Opts(full bool) exp.Fig15Opts {
+	o := exp.DefaultFig15Opts()
+	if !full {
+		o.TenantCounts = []int{1, 4, 8, 17}
+		o.Iterations = 40
+	}
+	return o
+}

@@ -1,0 +1,305 @@
+// Command iatd is the IAT daemon of the paper (Sec. V), run against the
+// simulated platform: it reads a tenant file, assembles the machine,
+// programs the initial CAT allocation, and then runs the
+// poll / state-transition / re-allocate loop, printing every decision.
+//
+// Usage:
+//
+//	iatd -tenants tenants.conf -duration 20 [-interval 1] [-scale 100]
+//
+// Tenant file format: see internal/tenantfile. Tenants with a "testpmd"
+// workload get a dedicated NIC VF with line-rate traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+
+	"iatsim/internal/bridge"
+	"iatsim/internal/cache"
+	"iatsim/internal/core"
+	"iatsim/internal/nic"
+	"iatsim/internal/nvme"
+	"iatsim/internal/pkt"
+	"iatsim/internal/sim"
+	"iatsim/internal/tenantfile"
+	"iatsim/internal/tgen"
+	"iatsim/internal/trace"
+	"iatsim/internal/workload"
+)
+
+func main() {
+	tenantsPath := flag.String("tenants", "", "tenant description file (required)")
+	duration := flag.Float64("duration", 20, "simulated seconds to run")
+	interval := flag.Float64("interval", 1, "IAT polling interval in simulated seconds")
+	scale := flag.Float64("scale", 100, "simulation scale factor")
+	tracePath := flag.String("trace", "", "write a per-iteration CSV trace to this file")
+	flag.Parse()
+	if *tenantsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tenantsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, events, err := tenantfile.ParseWithEvents(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := sim.NewPlatform(sim.XeonGold6140(*scale))
+	xmems, err := build(p, entries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := core.DefaultParams()
+	params.IntervalNS = *interval * 1e9
+	params.ThresholdMissLowPerSec /= *scale
+	daemon, err := bridge.NewIAT(p, params, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tracer *trace.Writer
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := tracer.Flush(); err != nil {
+				log.Printf("iatd: trace flush: %v", err)
+			}
+			tf.Close()
+		}()
+		tracer = trace.NewWriter(tf)
+	}
+	daemon.OnIteration = func(it core.IterationInfo) {
+		if tracer != nil {
+			_ = tracer.Record(it)
+		}
+		if it.Stable {
+			fmt.Printf("[%7.2fs] %-10s stable (ddio=%v hit/s=%.2e miss/s=%.2e)\n",
+				it.NowNS/1e9, it.State, it.DDIOMask, it.DDIOHitPS, it.DDIOMissPS)
+			return
+		}
+		fmt.Printf("[%7.2fs] %-10s %-28s ddio=%v masks=%v\n",
+			it.NowNS/1e9, it.State, it.Action, it.DDIOMask, it.Masks)
+	}
+
+	fmt.Printf("iatd: %d tenants, %d events, %d ways, interval %.2fs, running %.0fs of simulated time\n",
+		len(entries), len(events), p.RDT.NumWays(), *interval, *duration)
+	runWithEvents(p, daemon, events, xmems, *duration*1e9)
+
+	total, unstable := daemon.Iterations()
+	fmt.Printf("iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
+		total, unstable, daemon.State(), p.RDT.DDIOMask())
+}
+
+// build assembles tenants and their workloads onto the platform, packing
+// initial CAT masks bottom-up in file order. It returns each tenant's X-Mem
+// workers so '@' events can retune working sets at runtime.
+func build(p *sim.Platform, entries []tenantfile.Entry) (map[string][]*workload.XMem, error) {
+	xmems := map[string][]*workload.XMem{}
+	pos := 0
+	clos := 1
+	for _, e := range entries {
+		mask := cache.ContiguousMask(pos, e.Ways)
+		if mask.Highest() >= p.RDT.NumWays() {
+			return nil, fmt.Errorf("iatd: tenant %q overflows the LLC ways", e.Name)
+		}
+		if err := p.RDT.SetCLOSMask(clos, mask); err != nil {
+			return nil, err
+		}
+		pos += e.Ways
+
+		workers, isIO, err := buildWorkers(p, e)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workers {
+			if x, ok := w.(*workload.XMem); ok {
+				xmems[e.Name] = append(xmems[e.Name], x)
+			}
+		}
+		prio := sim.BestEffort
+		switch e.Priority {
+		case "pc":
+			prio = sim.PerformanceCritical
+		case "stack":
+			prio = sim.Stack
+		}
+		if err := p.AddTenant(&sim.Tenant{
+			Name: e.Name, Cores: e.Cores, CLOS: clos,
+			Priority: prio, IsIO: e.IO || isIO, Workers: workers,
+		}); err != nil {
+			return nil, err
+		}
+		clos++
+	}
+	return xmems, nil
+}
+
+// runWithEvents advances the simulation, applying '@' events at their
+// scheduled times and notifying the daemon of phase changes.
+func runWithEvents(p *sim.Platform, daemon *core.Daemon, events []tenantfile.Event,
+	xmems map[string][]*workload.XMem, durNS float64) {
+	sort.Slice(events, func(i, j int) bool { return events[i].AtNS < events[j].AtNS })
+	for _, ev := range events {
+		if ev.AtNS > p.NowNS() {
+			p.Run(min(ev.AtNS, durNS) - p.NowNS())
+		}
+		if ev.AtNS >= durNS {
+			break
+		}
+		switch {
+		case ev.Target == "ddio" && ev.Action == "ways":
+			ways := p.Cfg.Hier.LLC.Ways
+			n := ev.Arg
+			if n > ways {
+				n = ways
+			}
+			if err := p.RDT.SetDDIOMask(cache.ContiguousMask(ways-n, n)); err != nil {
+				log.Printf("iatd: event ddio ways %d: %v", ev.Arg, err)
+				continue
+			}
+			fmt.Printf("[%7.2fs] event: DDIO ways -> %d\n", p.NowNS()/1e9, n)
+		case ev.Action == "xmem-ws":
+			for _, x := range xmems[ev.Target] {
+				x.SetWorkingSet(uint64(ev.Arg) << 20)
+			}
+			fmt.Printf("[%7.2fs] event: %s working set -> %dMB\n", p.NowNS()/1e9, ev.Target, ev.Arg)
+			daemon.NotifyTenantsChanged()
+		}
+	}
+	if p.NowNS() < durNS {
+		p.Run(durNS - p.NowNS())
+	}
+}
+
+// buildWorkers instantiates the workload named in the tenant file.
+func buildWorkers(p *sim.Platform, e tenantfile.Entry) ([]sim.Worker, bool, error) {
+	kind, arg := tenantfile.WorkloadKind(e.Workload)
+	switch kind {
+	case "testpmd":
+		size := 1500
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, false, fmt.Errorf("iatd: bad testpmd packet size %q", arg)
+			}
+			size = v
+		}
+		dev := p.AddDevice(nic.Config{Name: "nic-" + e.Name, VFs: 1})
+		vf := dev.VF(0)
+		vf.ConsumerCore = e.Cores[0]
+		flows := pkt.NewFlowSet(64, 0, uint64(len(e.Name)))
+		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, size)), size, flows, int64(len(e.Name)))
+		p.AttachGenerator(g, dev, 0)
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			workers[i] = workload.NewTestPMD(vf)
+		}
+		return workers, true, nil
+	case "xmem":
+		mb := 4
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, false, fmt.Errorf("iatd: bad xmem size %q", arg)
+			}
+			mb = v
+		}
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			workers[i] = workload.NewXMem(p.Alloc, uint64(mb)<<20, uint64(mb)<<20, int64(7+i))
+		}
+		return workers, false, nil
+	case "spec":
+		prof, err := workload.SpecProfileByName(arg)
+		if err != nil {
+			return nil, false, err
+		}
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			workers[i] = workload.NewSpec(prof, p.Alloc, 0, int64(13+i))
+		}
+		return workers, false, nil
+	case "l3fwd":
+		flows := 1 << 20
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				return nil, false, fmt.Errorf("iatd: bad l3fwd flow count %q", arg)
+			}
+			flows = v
+		}
+		dev := p.AddDevice(nic.Config{Name: "nic-" + e.Name, VFs: 1})
+		vf := dev.VF(0)
+		vf.ConsumerCore = e.Cores[0]
+		fs := pkt.NewFlowSet(flows, 0, uint64(len(e.Name)))
+		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, 64)), 64, fs, int64(len(e.Name)))
+		p.AttachGenerator(g, dev, 0)
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			workers[i] = workload.NewL3Fwd(vf, flows, p.Alloc)
+		}
+		return workers, true, nil
+	case "nfchain":
+		flows := 4096
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				return nil, false, fmt.Errorf("iatd: bad nfchain flow count %q", arg)
+			}
+			flows = v
+		}
+		dev := p.AddDevice(nic.Config{Name: "nic-" + e.Name, VFs: 1})
+		vf := dev.VF(0)
+		vf.ConsumerCore = e.Cores[0]
+		fs := pkt.NewFlowSet(flows, 0, uint64(len(e.Name)))
+		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(20, 1500)), 1500, fs, int64(len(e.Name)))
+		p.AttachGenerator(g, dev, 0)
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			workers[i] = workload.NewNFChain(vf, flows, p.Alloc)
+		}
+		return workers, true, nil
+	case "spdk":
+		qd, blockKB := 64, 128
+		if arg != "" {
+			if _, err := fmt.Sscanf(arg, "%dx%d", &qd, &blockKB); err != nil {
+				return nil, false, fmt.Errorf("iatd: bad spdk spec %q (want QDxBLOCK_KB, e.g. 64x128)", arg)
+			}
+		}
+		cfg := nvme.DefaultConfig("ssd-" + e.Name)
+		cfg.BandwidthGBps /= p.Cfg.Scale
+		dev := nvme.New(cfg, len(e.Cores), p.DDIO, p.Alloc)
+		p.AddMicrotickHook(dev.Tick)
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			dev.QP(i).ConsumerCore = e.Cores[i]
+			workers[i] = workload.NewSPDKServer(dev, i, qd, blockKB<<10, p.Alloc, int64(19+i))
+		}
+		return workers, true, nil
+	case "idle":
+		workers := make([]sim.Worker, len(e.Cores))
+		for i := range workers {
+			workers[i] = idleWorker{}
+		}
+		return workers, false, nil
+	}
+	return nil, false, fmt.Errorf("iatd: unknown workload %q", e.Workload)
+}
+
+// idleWorker leaves its core halted.
+type idleWorker struct{}
+
+// Run implements sim.Worker.
+func (idleWorker) Run(*sim.Ctx) {}

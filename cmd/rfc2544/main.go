@@ -1,0 +1,34 @@
+// Command rfc2544 runs a standalone RFC 2544 zero-drop throughput search
+// for single-core DPDK l3fwd on the simulated platform — the tool behind
+// the paper's Fig. 3.
+//
+// Usage:
+//
+//	rfc2544 -ring 512 -size 64 -flows 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iatsim/internal/exp"
+)
+
+func main() {
+	ring := flag.Int("ring", 1024, "Rx ring entries")
+	size := flag.Int("size", 64, "packet size in bytes")
+	flows := flag.Int("flows", 1<<20, "distinct flows in the traffic / flow table")
+	scale := flag.Float64("scale", 100, "simulation scale factor")
+	flag.Parse()
+
+	o := exp.DefaultFig3Opts()
+	o.Scale = *scale
+	o.Flows = *flows
+	o.Rings = []int{*ring}
+	o.Sizes = []int{*size}
+	rows := exp.RunFig3(nil, o)
+	r := rows[0]
+	fmt.Printf("l3fwd, %dB packets, %d-entry ring, %d flows:\n", r.PktSize, r.RingSize, *flows)
+	fmt.Printf("  max zero-drop rate: %.2f Mpps (line rate %.2f Mpps, %d trials)\n",
+		r.MaxMpps, r.LineRateMpps, r.Trials)
+}

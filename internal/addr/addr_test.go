@@ -1,0 +1,122 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorNonOverlap(t *testing.T) {
+	al := NewAllocator(1 << 20)
+	a := al.Alloc(4096, 0)
+	b := al.Alloc(100, 0)
+	c := al.Alloc(1<<20, 4096)
+	regions := []Region{a, b, c}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].Contains(regions[j].Base) || regions[j].Contains(regions[i].Base) {
+				t.Fatalf("regions %d and %d overlap: %v %v", i, j, regions[i], regions[j])
+			}
+		}
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	al := NewAllocator(0)
+	al.Alloc(65, 0) // forces next allocation off-alignment
+	r := al.Alloc(128, 4096)
+	if r.Base%4096 != 0 {
+		t.Fatalf("region base %#x not 4KB aligned", r.Base)
+	}
+}
+
+func TestAllocatorRoundsToLines(t *testing.T) {
+	al := NewAllocator(0)
+	r := al.Alloc(1, 0)
+	if r.Size != LineSize {
+		t.Fatalf("size = %d, want %d", r.Size, LineSize)
+	}
+}
+
+func TestAllocatorBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-power-of-two alignment")
+		}
+	}()
+	NewAllocator(0).Alloc(64, 96)
+}
+
+func TestRegionLineWraps(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 4 * LineSize}
+	if r.Line(0) != 0x1000 {
+		t.Errorf("Line(0) = %#x", r.Line(0))
+	}
+	if r.Line(4) != r.Line(0) {
+		t.Errorf("Line(4) should wrap to Line(0)")
+	}
+	if r.Line(-1) != r.Line(3) {
+		t.Errorf("negative index should wrap from the end")
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 256}
+	if got := r.At(70); got != 0x1040 {
+		t.Errorf("At(70) = %#x, want line-aligned 0x1040", got)
+	}
+	if got := r.At(300); got != r.At(300%256) {
+		t.Errorf("At should wrap modulo size")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 128}
+	if !r.Contains(0x1000) || !r.Contains(0x107F) {
+		t.Error("boundary addresses should be contained")
+	}
+	if r.Contains(0x1080) || r.Contains(0xFFF) {
+		t.Error("outside addresses should not be contained")
+	}
+}
+
+func TestRegionEmptyEdges(t *testing.T) {
+	var r Region
+	if r.Lines() != 0 {
+		t.Errorf("empty region Lines = %d", r.Lines())
+	}
+	if r.Line(5) != r.Base || r.At(10) != r.Base {
+		t.Error("empty region accessors should return Base")
+	}
+}
+
+// Property: any allocation sequence yields line-aligned, strictly
+// increasing, non-overlapping regions.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		al := NewAllocator(1 << 30)
+		var prev Region
+		for _, s := range sizes {
+			r := al.Alloc(uint64(s)+1, 0)
+			if r.Base%LineSize != 0 || r.Size%LineSize != 0 {
+				return false
+			}
+			if prev.Size != 0 && r.Base < prev.End() {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocated(t *testing.T) {
+	al := NewAllocator(0)
+	al.Alloc(64, 0)
+	al.Alloc(64, 0)
+	if al.Allocated() != 128 {
+		t.Fatalf("Allocated = %d", al.Allocated())
+	}
+}

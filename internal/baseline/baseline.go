@@ -1,0 +1,292 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation (Sec. VI-B):
+//
+//   - Static: the default configuration — two DDIO ways and whatever CAT
+//     masks the operator programmed, never adjusted. (No controller at all;
+//     provided here only as documentation.)
+//   - Core-only: a dynamic core-side LLC allocator with no I/O awareness —
+//     it grows a tenant that demands cache into "idle" ways without knowing
+//     DDIO lives there, and never shuffles tenants against DDIO (the
+//     paper's footnote 4 obtains it by disabling IAT's I/O Demand state and
+//     shuffling).
+//   - I/O-iso: Core-only plus hard exclusion of the DDIO ways from every
+//     tenant mask, as proposed by prior work the paper argues against
+//     (shrinking best-effort tenants, and overlapping tenants, when the
+//     remaining ways run out).
+//   - ResQ: not a controller but a provisioning rule — size the Rx rings so
+//     all buffers fit in the default DDIO LLC capacity (Sec. III-A).
+package baseline
+
+import (
+	"math"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/core"
+	"iatsim/internal/rdt"
+)
+
+// Mode selects the baseline behaviour.
+type Mode int
+
+// Modes.
+const (
+	// CoreOnly adjusts tenant allocations with no I/O awareness.
+	CoreOnly Mode = iota
+	// IOIso is CoreOnly with DDIO's ways excluded from tenant masks.
+	IOIso
+)
+
+// Config tunes a baseline controller.
+type Config struct {
+	Mode       Mode
+	IntervalNS float64
+	// GrowThreshold is the relative LLC-miss increase that triggers a
+	// one-way grant.
+	GrowThreshold float64
+	// MissRateFloor gates growth to tenants actually missing.
+	MissRateFloor float64
+}
+
+// DefaultConfig mirrors IAT's cadence so comparisons are fair.
+func DefaultConfig(mode Mode) Config {
+	return Config{Mode: mode, IntervalNS: 1e9, GrowThreshold: 0.10, MissRateFloor: 0.05}
+}
+
+// Controller is a Core-only / I/O-iso dynamic allocator. It observes the
+// machine through the same core.System interface the IAT daemon uses.
+type Controller struct {
+	sys core.System
+	cfg Config
+
+	groups []*core.Group
+	cores  map[int][]int
+	order  []int // CLOS ids, bottom-up packing order
+
+	lastNS      float64
+	prevCum     map[int]rdt.CoreCounters
+	prevCumTime float64
+	prevMissPS  map[int]float64
+	lastDDIO    cache.WayMask
+}
+
+// New builds a baseline controller over sys.
+func New(sys core.System, cfg Config) *Controller {
+	if cfg.IntervalNS == 0 {
+		cfg.IntervalNS = 1e9
+	}
+	if cfg.GrowThreshold == 0 {
+		cfg.GrowThreshold = 0.10
+	}
+	c := &Controller{sys: sys, cfg: cfg, lastNS: -1e18}
+	c.init()
+	return c
+}
+
+func (c *Controller) init() {
+	byCLOS := map[int]*core.Group{}
+	c.cores = map[int][]int{}
+	for _, t := range c.sys.Tenants() {
+		g := byCLOS[t.CLOS]
+		if g == nil {
+			g = &core.Group{CLOS: t.CLOS, Priority: t.Priority}
+			byCLOS[t.CLOS] = g
+			c.groups = append(c.groups, g)
+			c.order = append(c.order, t.CLOS)
+		}
+		if t.Priority == core.PC && g.Priority == core.BE {
+			g.Priority = core.PC
+		}
+		if t.IO {
+			g.IO = true
+		}
+		c.cores[t.CLOS] = append(c.cores[t.CLOS], t.Cores...)
+	}
+	for _, g := range c.groups {
+		g.Width = c.sys.CLOSMask(g.CLOS).Count()
+	}
+}
+
+func (c *Controller) group(clos int) *core.Group {
+	for _, g := range c.groups {
+		if g.CLOS == clos {
+			return g
+		}
+	}
+	return nil
+}
+
+// Tick drives the controller (sim.Controller compatible).
+func (c *Controller) Tick(nowNS float64) {
+	if nowNS-c.lastNS < c.cfg.IntervalNS {
+		return
+	}
+	c.lastNS = nowNS
+	c.iterate(nowNS)
+}
+
+func (c *Controller) iterate(nowNS float64) {
+	// I/O-iso tracks the DDIO register: if the mask changed (e.g. the
+	// operator expanded DDIO), tenants are re-packed out of its way.
+	if c.cfg.Mode == IOIso {
+		if m := c.sys.DDIOMask(); m != c.lastDDIO {
+			c.lastDDIO = m
+			c.apply()
+		}
+	}
+	cum := map[int]rdt.CoreCounters{}
+	for _, g := range c.groups {
+		var cc rdt.CoreCounters
+		for _, core := range c.cores[g.CLOS] {
+			cc.Add(c.sys.ReadCore(core))
+		}
+		cum[g.CLOS] = cc
+	}
+	if c.prevCum == nil {
+		c.prevCum, c.prevCumTime = cum, nowNS
+		return
+	}
+	dt := (nowNS - c.prevCumTime) / 1e9
+	if dt <= 0 {
+		dt = 1
+	}
+	missPS := map[int]float64{}
+	missRate := map[int]float64{}
+	refsPS := map[int]float64{}
+	for clos, cc := range cum {
+		d := cc.Sub(c.prevCum[clos])
+		missPS[clos] = float64(d.LLCMisses) / dt
+		missRate[clos] = d.MissRate()
+		refsPS[clos] = float64(d.LLCRefs) / dt
+	}
+	c.prevCum, c.prevCumTime = cum, nowNS
+	if c.prevMissPS == nil {
+		c.prevMissPS = missPS
+		return
+	}
+	prev := c.prevMissPS
+	c.prevMissPS = missPS
+
+	// Pick the group with the strongest miss growth.
+	var grow *core.Group
+	best := c.cfg.GrowThreshold
+	for _, g := range c.groups {
+		p := prev[g.CLOS]
+		if p <= 0 {
+			p = 1e4
+		}
+		rel := (missPS[g.CLOS] - p) / p
+		if rel > best && missRate[g.CLOS] > c.cfg.MissRateFloor {
+			grow, best = g, rel
+		}
+	}
+	if grow == nil {
+		return
+	}
+	limit := c.limit()
+	total := core.TotalWidth(c.groups)
+	switch {
+	case total < limit:
+		grow.Width++
+	case c.cfg.Mode == IOIso:
+		// Steal a way from the lowest-missing best-effort group.
+		var victim *core.Group
+		for _, g := range c.groups {
+			if g == grow || g.Width <= 1 || g.Priority != core.BE {
+				continue
+			}
+			if victim == nil || missRate[g.CLOS] < missRate[victim.CLOS] {
+				victim = g
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.Width--
+		grow.Width++
+	default:
+		return // Core-only: no idle ways, nothing to do
+	}
+	// The grower moves to the top of the packing order so its new ways
+	// come from the idle region.
+	for i, clos := range c.order {
+		if clos == grow.CLOS {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), clos)
+			break
+		}
+	}
+	c.apply()
+}
+
+// limit is the highest way index + 1 tenants may use: the full LLC for
+// Core-only (unaware that DDIO sits on top), everything below the current
+// DDIO mask for I/O-iso.
+func (c *Controller) limit() int {
+	n := c.sys.NumWays()
+	if c.cfg.Mode == IOIso {
+		n -= c.sys.DDIOMask().Count()
+	}
+	return n
+}
+
+// apply packs groups bottom-up in c.order, clamping overflow into overlap
+// (I/O-iso's tenant sharing when space runs out).
+func (c *Controller) apply() {
+	limit := c.limit()
+	pos := 0
+	for _, clos := range c.order {
+		g := c.group(clos)
+		if g == nil {
+			continue
+		}
+		start := pos
+		if start+g.Width > limit {
+			start = limit - g.Width
+			if start < 0 {
+				start = 0
+			}
+		}
+		m := cache.ContiguousMask(start, minInt(g.Width, c.sys.NumWays()))
+		if c.sys.CLOSMask(clos) != m {
+			_ = c.sys.SetCLOSMask(clos, m)
+		}
+		pos = start + g.Width
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Widths returns the current per-CLOS widths, sorted by CLOS (for tests).
+func (c *Controller) Widths() map[int]int {
+	out := map[int]int{}
+	for _, g := range c.groups {
+		out[g.CLOS] = g.Width
+	}
+	return out
+}
+
+// Order returns the packing order (CLOS ids, bottom-up).
+func (c *Controller) Order() []int {
+	return append([]int(nil), c.order...)
+}
+
+// ResQRingEntries implements ResQ's provisioning rule (Sec. III-A): size
+// every Rx ring so the sum of all ring buffers fits the default DDIO LLC
+// capacity. ddioBytes is the DDIO partition size, rings the total ring
+// count, bufBytes the per-entry buffer footprint. The result is rounded
+// down to a power of two and floored at 64 entries.
+func ResQRingEntries(ddioBytes uint64, rings, bufBytes int) int {
+	if rings <= 0 || bufBytes <= 0 {
+		return 64
+	}
+	per := float64(ddioBytes) / float64(rings) / float64(bufBytes)
+	e := int(math.Pow(2, math.Floor(math.Log2(per))))
+	if e < 64 {
+		e = 64
+	}
+	return e
+}

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"testing"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/core"
+	"iatsim/internal/rdt"
+)
+
+// mockSys mirrors the daemon-test mock (duplicated here to keep test
+// packages self-contained).
+type mockSys struct {
+	tenants []core.TenantInfo
+	ways    int
+	masks   map[int]cache.WayMask
+	ddio    cache.WayMask
+	cores   map[int]rdt.CoreCounters
+}
+
+func newMockSys() *mockSys {
+	m := &mockSys{
+		ways:  11,
+		ddio:  cache.ContiguousMask(9, 2),
+		masks: map[int]cache.WayMask{},
+		cores: map[int]rdt.CoreCounters{},
+	}
+	m.tenants = []core.TenantInfo{
+		{Name: "a", Cores: []int{0}, CLOS: 1, Priority: core.PC},
+		{Name: "b", Cores: []int{1}, CLOS: 2, Priority: core.BE},
+		{Name: "c", Cores: []int{2}, CLOS: 3, Priority: core.BE},
+	}
+	m.masks[1] = cache.ContiguousMask(0, 2)
+	m.masks[2] = cache.ContiguousMask(2, 2)
+	m.masks[3] = cache.ContiguousMask(4, 2)
+	return m
+}
+
+func (m *mockSys) Tenants() []core.TenantInfo      { return m.tenants }
+func (m *mockSys) NumWays() int                    { return m.ways }
+func (m *mockSys) ReadCore(c int) rdt.CoreCounters { return m.cores[c] }
+func (m *mockSys) ReadDDIO() rdt.DDIOCounters      { return rdt.DDIOCounters{} }
+func (m *mockSys) CLOSMask(clos int) cache.WayMask { return m.masks[clos] }
+func (m *mockSys) DDIOMask() cache.WayMask         { return m.ddio }
+func (m *mockSys) SetCLOSMask(c int, w cache.WayMask) error {
+	m.masks[c] = w
+	return nil
+}
+func (m *mockSys) SetDDIOMask(w cache.WayMask) error {
+	m.ddio = w
+	return nil
+}
+
+func (m *mockSys) advance(core int, refs, misses uint64) {
+	c := m.cores[core]
+	c.Instructions += 1000
+	c.Cycles += 2000
+	c.LLCRefs += refs
+	c.LLCMisses += misses
+	m.cores[core] = c
+}
+
+func drive(c *Controller, m *mockSys, steps int, missFor map[int]func(step int) uint64) {
+	now := 0.0
+	for s := 0; s < steps; s++ {
+		for coreID := 0; coreID < 3; coreID++ {
+			miss := uint64(10)
+			if f, ok := missFor[coreID]; ok {
+				miss = f(s)
+			}
+			m.advance(coreID, miss*2+100, miss)
+		}
+		now += 1e9
+		c.Tick(now)
+	}
+}
+
+func TestCoreOnlyGrowsIntoIdleWays(t *testing.T) {
+	m := newMockSys()
+	c := New(m, DefaultConfig(CoreOnly))
+	// Tenant "a" (core 0) develops a growing miss stream.
+	drive(c, m, 8, map[int]func(int) uint64{
+		0: func(s int) uint64 { return uint64(100_000 * (s + 1)) },
+	})
+	if got := m.masks[1].Count(); got <= 2 {
+		t.Fatalf("demanding tenant stayed at %d ways", got)
+	}
+	// Core-only is I/O-unaware: the grower may extend into the DDIO
+	// ways; verify it grew from the top (idle region).
+	if m.masks[1].Highest() < 6 {
+		t.Fatalf("growth did not come from the idle top: %v", m.masks[1])
+	}
+}
+
+func TestCoreOnlyStopsWhenFull(t *testing.T) {
+	m := newMockSys()
+	c := New(m, DefaultConfig(CoreOnly))
+	drive(c, m, 20, map[int]func(int) uint64{
+		0: func(s int) uint64 { return uint64(200_000 * (s + 1)) },
+	})
+	total := 0
+	for _, g := range c.groups {
+		total += g.Width
+	}
+	if total > 11 {
+		t.Fatalf("total widths %d exceed the LLC", total)
+	}
+}
+
+func TestIOIsoExcludesDDIOWays(t *testing.T) {
+	m := newMockSys()
+	c := New(m, DefaultConfig(IOIso))
+	drive(c, m, 10, map[int]func(int) uint64{
+		0: func(s int) uint64 { return uint64(150_000 * (s + 1)) },
+	})
+	for clos, mask := range m.masks {
+		if mask.Overlaps(m.ddio) {
+			t.Fatalf("clos %d mask %v overlaps DDIO %v under I/O-iso", clos, mask, m.ddio)
+		}
+	}
+}
+
+func TestIOIsoStealsFromBestEffort(t *testing.T) {
+	m := newMockSys()
+	// Pre-fill the non-DDIO region: widths 3+3+3 = 9 = the whole region.
+	m.masks[1] = cache.ContiguousMask(0, 3)
+	m.masks[2] = cache.ContiguousMask(3, 3)
+	m.masks[3] = cache.ContiguousMask(6, 3)
+	c := New(m, DefaultConfig(IOIso))
+	drive(c, m, 8, map[int]func(int) uint64{
+		0: func(s int) uint64 { return uint64(150_000 * (s + 1)) },
+	})
+	if m.masks[1].Count() <= 3 {
+		t.Fatalf("PC tenant did not grow: %v", m.masks[1])
+	}
+	if m.masks[2].Count() >= 3 && m.masks[3].Count() >= 3 {
+		t.Fatal("no best-effort tenant was shrunk")
+	}
+}
+
+func TestIOIsoTracksExternalDDIOChange(t *testing.T) {
+	m := newMockSys()
+	c := New(m, DefaultConfig(IOIso))
+	drive(c, m, 3, nil) // settle
+	m.ddio = cache.ContiguousMask(7, 4)
+	drive(c, m, 2, nil)
+	for clos, mask := range m.masks {
+		if mask.Overlaps(m.ddio) {
+			t.Fatalf("clos %d mask %v overlaps the grown DDIO %v", clos, mask, m.ddio)
+		}
+	}
+}
+
+func TestQuietSystemUnchanged(t *testing.T) {
+	m := newMockSys()
+	before := map[int]cache.WayMask{}
+	for k, v := range m.masks {
+		before[k] = v
+	}
+	c := New(m, DefaultConfig(CoreOnly))
+	drive(c, m, 6, nil)
+	for clos, mask := range m.masks {
+		if before[clos] != mask {
+			t.Fatalf("quiet system reprogrammed clos %d: %v -> %v", clos, before[clos], mask)
+		}
+	}
+}
+
+func TestResQRingEntries(t *testing.T) {
+	// 4.5MB DDIO capacity, 2 rings of 2KB buffers: 1152 entries -> 1024.
+	if got := ResQRingEntries(4_718_592, 2, 2048); got != 1024 {
+		t.Fatalf("entries = %d", got)
+	}
+	// 20 rings: 115 entries -> floor at 64.
+	if got := ResQRingEntries(4_718_592, 20, 2048); got != 64 {
+		t.Fatalf("entries = %d", got)
+	}
+	// Degenerate inputs floor at 64.
+	if got := ResQRingEntries(0, 0, 0); got != 64 {
+		t.Fatalf("entries = %d", got)
+	}
+}
+
+func TestWidthsAndOrderAccessors(t *testing.T) {
+	m := newMockSys()
+	c := New(m, DefaultConfig(CoreOnly))
+	w := c.Widths()
+	if w[1] != 2 || w[2] != 2 || w[3] != 2 {
+		t.Fatalf("widths = %v", w)
+	}
+	if len(c.Order()) != 3 {
+		t.Fatalf("order = %v", c.Order())
+	}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes, fixed at 64 as on all modern
+// Intel server parts.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// LevelConfig describes one private cache level (L1D or L2).
+type LevelConfig struct {
+	SizeBytes int   // total capacity
+	Ways      int   // associativity
+	HitCycles int64 // access latency in core cycles
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (lc LevelConfig) Sets() int { return lc.SizeBytes / (LineSize * lc.Ways) }
+
+// Validate checks that the level is well-formed.
+func (lc LevelConfig) Validate() error {
+	if lc.Ways <= 0 || lc.Ways > 32 {
+		return fmt.Errorf("cache: level ways %d out of range", lc.Ways)
+	}
+	if lc.SizeBytes%(LineSize*lc.Ways) != 0 {
+		return fmt.Errorf("cache: level size %d not divisible into %d-way sets", lc.SizeBytes, lc.Ways)
+	}
+	s := lc.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache: level set count %d not a power of two", s)
+	}
+	return nil
+}
+
+// ReplacementPolicy selects the LLC's line replacement algorithm.
+type ReplacementPolicy int
+
+// Replacement policies.
+const (
+	// PolicySRRIP (the default) models the RRIP-family policies of
+	// modern Intel LLCs: insertions start distant, demand hits do not
+	// promote (the line's working copy moves to the private caches), so
+	// data parked outside its owner's current CAT mask ages out under
+	// allocation pressure.
+	PolicySRRIP ReplacementPolicy = iota
+	// PolicyLRU is textbook least-recently-used with promotion on every
+	// hit. Under CAT it lets re-referenced lines squat indefinitely in
+	// ways outside their owner's mask — a useful contrast when studying
+	// how replacement policy interacts with way partitioning.
+	PolicyLRU
+)
+
+// String implements fmt.Stringer.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case PolicySRRIP:
+		return "srrip"
+	case PolicyLRU:
+		return "lru"
+	}
+	return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+}
+
+// LLCConfig describes the shared last-level cache.
+type LLCConfig struct {
+	Slices       int   // number of NUCA slices (CHAs)
+	Ways         int   // associativity of every slice
+	SetsPerSlice int   // sets per slice
+	HitCycles    int64 // load-to-use latency of an LLC hit in core cycles
+	// Policy selects the replacement algorithm (default PolicySRRIP).
+	Policy ReplacementPolicy
+}
+
+// SizeBytes returns the total LLC capacity.
+func (c LLCConfig) SizeBytes() int { return c.Slices * c.Ways * c.SetsPerSlice * LineSize }
+
+// WayBytes returns the capacity of a single way across all slices — the
+// granularity at which CAT and the DDIO mask partition the cache.
+func (c LLCConfig) WayBytes() int { return c.Slices * c.SetsPerSlice * LineSize }
+
+// Validate checks that the LLC shape is well-formed.
+func (c LLCConfig) Validate() error {
+	if c.Slices <= 0 {
+		return fmt.Errorf("cache: llc needs at least one slice, got %d", c.Slices)
+	}
+	if c.Ways <= 0 || c.Ways > 32 {
+		return fmt.Errorf("cache: llc ways %d out of range", c.Ways)
+	}
+	if c.SetsPerSlice <= 0 || c.SetsPerSlice&(c.SetsPerSlice-1) != 0 {
+		return fmt.Errorf("cache: llc sets per slice %d not a power of two", c.SetsPerSlice)
+	}
+	return nil
+}
+
+// HierarchyConfig bundles the three levels for a platform.
+type HierarchyConfig struct {
+	Cores int
+	L1    LevelConfig
+	L2    LevelConfig
+	LLC   LLCConfig
+}
+
+// Validate checks all levels.
+func (hc HierarchyConfig) Validate() error {
+	if hc.Cores <= 0 {
+		return fmt.Errorf("cache: need at least one core, got %d", hc.Cores)
+	}
+	if err := hc.L1.Validate(); err != nil {
+		return fmt.Errorf("L1: %w", err)
+	}
+	if err := hc.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	return hc.LLC.Validate()
+}
+
+// XeonGold6140Hierarchy returns the cache shape of the paper's testbed CPU
+// (Table I): 8-way 32KB L1D, 16-way 1MB L2, 11-way 24.75MB LLC split into 18
+// slices.
+func XeonGold6140Hierarchy(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores: cores,
+		L1:    LevelConfig{SizeBytes: 32 << 10, Ways: 8, HitCycles: 4},
+		L2:    LevelConfig{SizeBytes: 1 << 20, Ways: 16, HitCycles: 14},
+		LLC: LLCConfig{
+			Slices: 18,
+			Ways:   11,
+			// 24.75MB / 64B / 11 ways / 18 slices = 2048 sets per slice.
+			SetsPerSlice: 2048,
+			HitCycles:    44,
+		},
+	}
+}

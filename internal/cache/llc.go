@@ -1,0 +1,414 @@
+package cache
+
+import "fmt"
+
+const (
+	stateValid uint8 = 1 << 0
+	stateDirty uint8 = 1 << 1
+)
+
+// SliceStats are the per-slice CHA counters. The DDIO pair is exactly what
+// the paper's daemon samples from the uncore PMU: DDIOHits counts inbound
+// transactions that performed a write update, DDIOMisses those that
+// performed a write allocate (Sec. IV-B of the paper).
+type SliceStats struct {
+	Lookups    uint64 // all demand lookups from cores
+	Hits       uint64 // demand hits
+	Misses     uint64 // demand misses
+	DDIOHits   uint64 // inbound I/O write updates
+	DDIOMisses uint64 // inbound I/O write allocates
+	IOReads    uint64 // device (Tx) reads served by the LLC
+	IOReadMiss uint64 // device reads that fell through to memory
+	Writebacks uint64 // dirty evictions sent to memory
+}
+
+// Add accumulates o into s.
+func (s *SliceStats) Add(o SliceStats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.DDIOHits += o.DDIOHits
+	s.DDIOMisses += o.DDIOMisses
+	s.IOReads += o.IOReads
+	s.IOReadMiss += o.IOReadMiss
+	s.Writebacks += o.Writebacks
+}
+
+// llcSlice is one NUCA slice: a sets×ways structure stored as flat arrays
+// for speed. Replacement is SRRIP (2-bit re-reference prediction values),
+// the policy family modern Intel LLCs implement: insertions start with a
+// long predicted re-reference interval (rrpvInsert), hits reset it to 0,
+// and victims are lines that aged to rrpvMax. Unlike true LRU, sustained
+// allocation pressure (e.g. line-rate DDIO write allocates) eventually
+// evicts rarely re-referenced lines that squat outside their owner's
+// current way mask — the behaviour the paper's shuffling step relies on
+// ("a tenant can still access its data in previously assigned LLC ways
+// UNTIL it has been evicted", Sec. IV-D).
+type llcSlice struct {
+	tags  []uint64
+	state []uint8
+	rrpv  []uint8
+	stats SliceStats
+}
+
+// SRRIP constants: 2-bit RRPV, insert at distant (max-1).
+const (
+	rrpvMax    uint8 = 3
+	rrpvInsert uint8 = 2
+)
+
+// LLC is the shared last-level cache. It is address-hashed across slices the
+// way modern Intel CPUs are (Sec. V of the paper relies on this even
+// distribution to sample a single CHA and extrapolate).
+type LLC struct {
+	cfg    LLCConfig
+	slices []llcSlice
+
+	setMask uint64 // SetsPerSlice-1
+	vicRR   uint32 // rotating tie-break for victim selection
+
+	// Per-core demand counters, the source for the "LLC reference and
+	// miss" events IAT polls (LONGEST_LAT_CACHE.{REFERENCE,MISS}).
+	coreRefs   []uint64
+	coreMisses []uint64
+}
+
+// Victim describes a line displaced by an allocation. If Dirty, the caller
+// must write it back to memory.
+type Victim struct {
+	Addr  uint64
+	Valid bool
+	Dirty bool
+}
+
+// NewLLC builds an empty LLC with the given shape for cores cores.
+func NewLLC(cfg LLCConfig, cores int) *LLC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	l := &LLC{
+		cfg:        cfg,
+		slices:     make([]llcSlice, cfg.Slices),
+		setMask:    uint64(cfg.SetsPerSlice - 1),
+		coreRefs:   make([]uint64, cores),
+		coreMisses: make([]uint64, cores),
+	}
+	n := cfg.SetsPerSlice * cfg.Ways
+	for i := range l.slices {
+		l.slices[i] = llcSlice{
+			tags:  make([]uint64, n),
+			state: make([]uint8, n),
+			rrpv:  make([]uint8, n),
+		}
+	}
+	return l
+}
+
+// Config returns the LLC shape.
+func (l *LLC) Config() LLCConfig { return l.cfg }
+
+// hashLine mixes the line address so both slice selection and set indexing
+// are effectively uniform, mirroring the (reverse-engineered) complex
+// addressing hash on Intel LLCs.
+func hashLine(line uint64) uint64 {
+	x := line * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x
+}
+
+// locate maps an address to (slice, base index of its set).
+func (l *LLC) locate(a uint64) (sl *llcSlice, setBase int) {
+	line := a >> LineShift
+	h := hashLine(line)
+	s := int(h % uint64(l.cfg.Slices))
+	set := int((h >> 24) & l.setMask)
+	return &l.slices[s], set * l.cfg.Ways
+}
+
+// probe searches the set for the tag; returns the way offset or -1.
+func (l *LLC) probe(sl *llcSlice, base int, tag uint64) int {
+	for w := 0; w < l.cfg.Ways; w++ {
+		if sl.state[base+w]&stateValid != 0 && sl.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch records a re-reference: the line's predicted re-reference interval
+// collapses to "imminent" (SRRIP), or the line moves to MRU (LRU).
+func (l *LLC) touch(sl *llcSlice, base, w int) {
+	if l.cfg.Policy == PolicyLRU {
+		l.lruPromote(sl, base, w)
+		return
+	}
+	sl.rrpv[base+w] = 0
+}
+
+// lruPromote moves way w to MRU, ageing every valid line that was younger.
+func (l *LLC) lruPromote(sl *llcSlice, base, w int) {
+	old := sl.rrpv[base+w]
+	for i := 0; i < l.cfg.Ways; i++ {
+		if sl.state[base+i]&stateValid != 0 && i != w && sl.rrpv[base+i] < old {
+			sl.rrpv[base+i]++
+		}
+	}
+	sl.rrpv[base+w] = 0
+}
+
+// lruInsert gives a newly installed line MRU rank, ageing everything else.
+// The fresh line is treated as older-than-everything first so rank
+// uniqueness among valid lines is preserved.
+func (l *LLC) lruInsert(sl *llcSlice, base, w int) {
+	sl.rrpv[base+w] = ^uint8(0)
+	l.lruPromote(sl, base, w)
+}
+
+// victimWay picks the allocation victim inside the allowed mask: an invalid
+// allowed way if one exists, else (SRRIP) an allowed way whose RRPV has aged
+// to rrpvMax — ageing the whole allowed set as needed — or (LRU) the
+// least-recently-used allowed way.
+func (l *LLC) victimWay(sl *llcSlice, base int, mask WayMask) int {
+	for w := 0; w < l.cfg.Ways; w++ {
+		if mask.Has(w) && sl.state[base+w]&stateValid == 0 {
+			return w
+		}
+	}
+	if l.cfg.Policy == PolicyLRU {
+		best, bestRank := -1, -1
+		for w := 0; w < l.cfg.Ways; w++ {
+			if !mask.Has(w) {
+				continue
+			}
+			if r := int(sl.rrpv[base+w]); r > bestRank {
+				best, bestRank = w, r
+			}
+		}
+		return best
+	}
+	// Rotate the scan start so RRPV ties don't always evict the lowest
+	// way (which would shelter high ways from replacement pressure).
+	l.vicRR++
+	start := int(l.vicRR) % l.cfg.Ways
+	for {
+		best, bestRRPV := -1, -1
+		for i := 0; i < l.cfg.Ways; i++ {
+			w := (start + i) % l.cfg.Ways
+			if !mask.Has(w) {
+				continue
+			}
+			if r := int(sl.rrpv[base+w]); r > bestRRPV {
+				best, bestRRPV = w, r
+			}
+		}
+		if best < 0 || bestRRPV >= int(rrpvMax) {
+			return best
+		}
+		// Age every allowed line and retry.
+		for w := 0; w < l.cfg.Ways; w++ {
+			if mask.Has(w) {
+				sl.rrpv[base+w]++
+			}
+		}
+	}
+}
+
+// install places the tag into way w, returning the displaced victim.
+func (l *LLC) install(sl *llcSlice, base, w int, tag uint64, dirty bool) Victim {
+	var v Victim
+	idx := base + w
+	if sl.state[idx]&stateValid != 0 {
+		v = Victim{
+			Addr:  sl.tags[idx] << LineShift,
+			Valid: true,
+			Dirty: sl.state[idx]&stateDirty != 0,
+		}
+		if v.Dirty {
+			sl.stats.Writebacks++
+		}
+	}
+	sl.tags[idx] = tag
+	sl.state[idx] = stateValid
+	if dirty {
+		sl.state[idx] |= stateDirty
+	}
+	if l.cfg.Policy == PolicyLRU {
+		l.lruInsert(sl, base, w)
+	} else {
+		sl.rrpv[idx] = rrpvInsert
+	}
+	return v
+}
+
+// Access performs a demand lookup from a core (i.e. the L2-miss path).
+// mask is the core's current CAT allocation mask, used only on a miss to
+// choose the fill location. The returned Victim must be written back by the
+// caller if dirty.
+func (l *LLC) Access(core int, a uint64, write bool, mask WayMask) (hit bool, v Victim) {
+	sl, base := l.locate(a)
+	tag := a >> LineShift
+	sl.stats.Lookups++
+	l.coreRefs[core]++
+	if w := l.probe(sl, base, tag); w >= 0 {
+		sl.stats.Hits++
+		if write {
+			sl.state[base+w] |= stateDirty
+		}
+		// SRRIP: no promotion on demand hits — the line's working copy
+		// moves into the core's private caches (Skylake's
+		// non-inclusive LLC behaves this way), so data parked outside
+		// its owner's current mask ages out under allocation pressure
+		// instead of squatting forever. LRU promotes classically.
+		if l.cfg.Policy == PolicyLRU {
+			l.lruPromote(sl, base, w)
+		}
+		return true, Victim{}
+	}
+	sl.stats.Misses++
+	l.coreMisses[core]++
+	if mask == 0 {
+		mask = FullMask(l.cfg.Ways)
+	}
+	w := l.victimWay(sl, base, mask)
+	v = l.install(sl, base, w, tag, write)
+	return false, v
+}
+
+// FillWriteback installs a dirty line evicted from a private cache
+// (non-inclusive LLC: L2 victims are allocated here rather than dropped).
+// It does not count as a demand reference. The returned victim must be
+// written back by the caller if dirty.
+func (l *LLC) FillWriteback(a uint64, mask WayMask) Victim {
+	sl, base := l.locate(a)
+	tag := a >> LineShift
+	if w := l.probe(sl, base, tag); w >= 0 {
+		sl.state[base+w] |= stateDirty
+		if l.cfg.Policy == PolicyLRU {
+			l.lruPromote(sl, base, w)
+		} else {
+			sl.rrpv[base+w] = rrpvInsert
+		}
+		return Victim{}
+	}
+	if mask == 0 {
+		mask = FullMask(l.cfg.Ways)
+	}
+	w := l.victimWay(sl, base, mask)
+	return l.install(sl, base, w, tag, true)
+}
+
+// IOWrite models a DDIO inbound write of one line. If the line is resident
+// in any way it is updated in place (write update — a DDIO hit); otherwise
+// it is allocated into the DDIO mask (write allocate — a DDIO miss) and the
+// displaced victim is returned for writeback.
+func (l *LLC) IOWrite(a uint64, ddioMask WayMask) (hit bool, v Victim) {
+	sl, base := l.locate(a)
+	tag := a >> LineShift
+	if w := l.probe(sl, base, tag); w >= 0 {
+		sl.stats.DDIOHits++
+		sl.state[base+w] |= stateDirty
+		l.touch(sl, base, w)
+		return true, Victim{}
+	}
+	sl.stats.DDIOMisses++
+	if ddioMask == 0 {
+		ddioMask = FullMask(l.cfg.Ways)
+	}
+	w := l.victimWay(sl, base, ddioMask)
+	v = l.install(sl, base, w, tag, true)
+	return false, v
+}
+
+// IORead models a device (Tx) read of one line. A hit is served from the
+// LLC and the line stays put; a miss falls through to memory and does NOT
+// allocate (Sec. II-B). The line is cleaned on read-hit so a later eviction
+// needs no writeback only if nothing else dirtied it again; real hardware
+// keeps it dirty, so we do too — the read has no side effects.
+func (l *LLC) IORead(a uint64) (hit bool) {
+	sl, base := l.locate(a)
+	tag := a >> LineShift
+	if w := l.probe(sl, base, tag); w >= 0 {
+		sl.stats.IOReads++
+		// A device read is typically the buffer's last use before the
+		// slot recycles; no promotion.
+		return true
+	}
+	sl.stats.IOReads++
+	sl.stats.IOReadMiss++
+	return false
+}
+
+// AmbientFill models background LLC allocation pressure (kernel, management
+// agents, prefetchers of unmodelled cores): it installs a line with the full
+// way mask, untracked by the demand counters, and returns the displaced
+// victim for writeback accounting. A real consolidated host is never
+// sterile; without this churn, data parked in idle ways would stay resident
+// forever.
+func (l *LLC) AmbientFill(a uint64) Victim {
+	sl, base := l.locate(a)
+	tag := a >> LineShift
+	if l.probe(sl, base, tag) >= 0 {
+		return Victim{}
+	}
+	w := l.victimWay(sl, base, FullMask(l.cfg.Ways))
+	return l.install(sl, base, w, tag, false)
+}
+
+// Contains reports whether the line holding address a is resident, without
+// disturbing LRU state or counters. Intended for tests and assertions.
+func (l *LLC) Contains(a uint64) bool {
+	sl, base := l.locate(a)
+	return l.probe(sl, base, a>>LineShift) >= 0
+}
+
+// WayOf returns the way index currently holding address a, or -1. Intended
+// for tests.
+func (l *LLC) WayOf(a uint64) int {
+	sl, base := l.locate(a)
+	return l.probe(sl, base, a>>LineShift)
+}
+
+// SliceStats returns the counters of slice i. The IAT daemon samples slice 0
+// and multiplies by Config().Slices, exactly as the paper's implementation
+// reads one CHA (Sec. V, "Profiling and monitoring").
+func (l *LLC) SliceStats(i int) SliceStats {
+	if i < 0 || i >= len(l.slices) {
+		panic(fmt.Sprintf("cache: slice %d out of range", i))
+	}
+	return l.slices[i].stats
+}
+
+// TotalStats sums the counters of all slices.
+func (l *LLC) TotalStats() SliceStats {
+	var t SliceStats
+	for i := range l.slices {
+		t.Add(l.slices[i].stats)
+	}
+	return t
+}
+
+// CoreRefs returns the cumulative demand references issued by core.
+func (l *LLC) CoreRefs(core int) uint64 { return l.coreRefs[core] }
+
+// CoreMisses returns the cumulative demand misses suffered by core.
+func (l *LLC) CoreMisses(core int) uint64 { return l.coreMisses[core] }
+
+// OccupancyByWay counts the valid lines per way across all slices; useful
+// for tests and for visualising which partition holds how much data.
+func (l *LLC) OccupancyByWay() []int {
+	occ := make([]int, l.cfg.Ways)
+	for s := range l.slices {
+		sl := &l.slices[s]
+		for set := 0; set < l.cfg.SetsPerSlice; set++ {
+			base := set * l.cfg.Ways
+			for w := 0; w < l.cfg.Ways; w++ {
+				if sl.state[base+w]&stateValid != 0 {
+					occ[w]++
+				}
+			}
+		}
+	}
+	return occ
+}

@@ -1,0 +1,97 @@
+// Package cache implements the simulated cache hierarchy of the platform:
+// per-core L1D and L2 caches and a shared, multi-slice, way-partitioned
+// last-level cache (LLC) with Intel CAT semantics.
+//
+// The LLC model reproduces the two properties the paper's mechanism depends
+// on (Sec. II, footnote 1 of the paper):
+//
+//  1. a core (or DDIO) can only ALLOCATE cache lines into the ways named by
+//     its current way mask, and
+//  2. a core can HIT on (load/update) lines in ANY way, regardless of masks.
+//
+// DDIO inbound writes follow Sec. II-B: if the target line is present in any
+// way the write updates it in place ("write update", a DDIO hit); otherwise
+// the line is allocated into the DDIO way mask ("write allocate", a DDIO
+// miss), possibly evicting a dirty victim to memory. Device reads hit in the
+// LLC but never allocate on miss.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WayMask is a bitmask over LLC ways: bit i set means way i may be used for
+// allocation. It mirrors the capacity bitmask (CBM) written into the
+// IA32_L3_QOS_MASK_n MSRs by Intel CAT, and the IIO_LLC_WAYS MSR for DDIO.
+type WayMask uint32
+
+// ContiguousMask returns a mask covering n ways starting at way lo.
+func ContiguousMask(lo, n int) WayMask {
+	if n <= 0 {
+		return 0
+	}
+	return WayMask(((uint32(1) << n) - 1) << lo)
+}
+
+// FullMask returns a mask covering ways [0, n).
+func FullMask(n int) WayMask { return ContiguousMask(0, n) }
+
+// Count returns the number of ways in the mask.
+func (m WayMask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// Has reports whether way i is in the mask.
+func (m WayMask) Has(i int) bool { return m&(1<<i) != 0 }
+
+// Overlaps reports whether the two masks share any way.
+func (m WayMask) Overlaps(o WayMask) bool { return m&o != 0 }
+
+// Lowest returns the index of the lowest set way, or -1 if the mask is
+// empty.
+func (m WayMask) Lowest() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(m))
+}
+
+// Highest returns the index of the highest set way, or -1 if the mask is
+// empty.
+func (m WayMask) Highest() int {
+	if m == 0 {
+		return -1
+	}
+	return 31 - bits.LeadingZeros32(uint32(m))
+}
+
+// Contiguous reports whether the set ways form one contiguous run. Intel CAT
+// requires contiguous capacity bitmasks; package rdt enforces this via
+// Contiguous when masks are programmed.
+func (m WayMask) Contiguous() bool {
+	if m == 0 {
+		return false
+	}
+	v := uint32(m) >> bits.TrailingZeros32(uint32(m))
+	return v&(v+1) == 0
+}
+
+// String renders the mask as a way bitmap, highest way first, e.g.
+// "11000000000" for the default 2-way DDIO mask of an 11-way LLC.
+func (m WayMask) String() string {
+	if m == 0 {
+		return "0"
+	}
+	var sb strings.Builder
+	for i := m.Highest(); i >= 0; i-- {
+		if m.Has(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// GoString implements fmt.GoStringer for %#v debugging output.
+func (m WayMask) GoString() string { return fmt.Sprintf("cache.WayMask(%#b)", uint32(m)) }

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContiguousMask(t *testing.T) {
+	cases := []struct {
+		lo, n int
+		want  WayMask
+	}{
+		{0, 1, 0b1},
+		{0, 2, 0b11},
+		{9, 2, 0b11000000000},
+		{3, 4, 0b1111000},
+		{0, 0, 0},
+		{5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := ContiguousMask(c.lo, c.n); got != c.want {
+			t.Errorf("ContiguousMask(%d,%d) = %v, want %v", c.lo, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	if FullMask(11) != WayMask(0x7FF) {
+		t.Errorf("FullMask(11) = %#x", uint32(FullMask(11)))
+	}
+	if FullMask(0) != 0 {
+		t.Errorf("FullMask(0) = %v", FullMask(0))
+	}
+}
+
+func TestMaskCountHasBounds(t *testing.T) {
+	m := ContiguousMask(2, 3) // ways 2,3,4
+	if m.Count() != 3 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	for i := 0; i < 8; i++ {
+		want := i >= 2 && i <= 4
+		if m.Has(i) != want {
+			t.Errorf("Has(%d) = %v, want %v", i, m.Has(i), want)
+		}
+	}
+	if m.Lowest() != 2 || m.Highest() != 4 {
+		t.Errorf("Lowest/Highest = %d/%d", m.Lowest(), m.Highest())
+	}
+}
+
+func TestMaskEmptyEdges(t *testing.T) {
+	var m WayMask
+	if m.Lowest() != -1 || m.Highest() != -1 {
+		t.Errorf("empty mask Lowest/Highest = %d/%d", m.Lowest(), m.Highest())
+	}
+	if m.Contiguous() {
+		t.Error("empty mask reported contiguous")
+	}
+	if m.String() != "0" {
+		t.Errorf("empty mask String = %q", m.String())
+	}
+}
+
+func TestMaskContiguous(t *testing.T) {
+	if !WayMask(0b0111000).Contiguous() {
+		t.Error("0b0111000 should be contiguous")
+	}
+	if WayMask(0b0101000).Contiguous() {
+		t.Error("0b0101000 should not be contiguous")
+	}
+	if !WayMask(1).Contiguous() {
+		t.Error("single way should be contiguous")
+	}
+}
+
+func TestMaskOverlaps(t *testing.T) {
+	a := ContiguousMask(0, 3)
+	b := ContiguousMask(2, 2)
+	c := ContiguousMask(5, 2)
+	if !a.Overlaps(b) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+}
+
+// Property: every contiguous mask built from (lo, n) is contiguous, has
+// count n, and spans exactly [lo, lo+n).
+func TestContiguousMaskProperty(t *testing.T) {
+	f := func(lo, n uint8) bool {
+		l := int(lo % 20)
+		k := int(n%12) + 1
+		m := ContiguousMask(l, k)
+		return m.Contiguous() && m.Count() == k && m.Lowest() == l && m.Highest() == l+k-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Overlaps is symmetric and any mask overlaps itself.
+func TestOverlapsProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ma, mb := WayMask(a), WayMask(b)
+		if ma.Overlaps(mb) != mb.Overlaps(ma) {
+			return false
+		}
+		return ma == 0 || ma.Overlaps(ma)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if s := ContiguousMask(9, 2).String(); s != "11000000000" {
+		t.Errorf("String = %q", s)
+	}
+	if s := ContiguousMask(0, 3).String(); s != "111" {
+		t.Errorf("String = %q", s)
+	}
+}

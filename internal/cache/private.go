@@ -1,0 +1,126 @@
+package cache
+
+// private is one private cache level (L1D or L2) of a single core: a plain
+// set-associative cache, address-bit indexed, LRU replaced, write-back and
+// write-allocate.
+type private struct {
+	ways    int
+	sets    int
+	setMask uint64
+	tags    []uint64
+	state   []uint8
+	lru     []uint8
+	hits    uint64
+	misses  uint64
+}
+
+func newPrivate(cfg LevelConfig) *private {
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	return &private{
+		ways:    cfg.Ways,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, n),
+		state:   make([]uint8, n),
+		lru:     make([]uint8, n),
+	}
+}
+
+func (p *private) locate(a uint64) (base int, tag uint64) {
+	line := a >> LineShift
+	return int(line&p.setMask) * p.ways, line
+}
+
+func (p *private) probe(base int, tag uint64) int {
+	for w := 0; w < p.ways; w++ {
+		if p.state[base+w]&stateValid != 0 && p.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+func (p *private) touch(base, w int) {
+	old := p.lru[base+w]
+	for i := 0; i < p.ways; i++ {
+		if p.lru[base+i] < old {
+			p.lru[base+i]++
+		}
+	}
+	p.lru[base+w] = 0
+}
+
+// lookup probes for a; on hit it updates LRU (and dirtiness for writes) and
+// returns true.
+func (p *private) lookup(a uint64, write bool) bool {
+	base, tag := p.locate(a)
+	if w := p.probe(base, tag); w >= 0 {
+		p.hits++
+		if write {
+			p.state[base+w] |= stateDirty
+		}
+		p.touch(base, w)
+		return true
+	}
+	p.misses++
+	return false
+}
+
+// fill installs line a, returning the displaced victim (if any).
+func (p *private) fill(a uint64, dirty bool) Victim {
+	base, tag := p.locate(a)
+	// The line may already be present (e.g. refetch after invalidate
+	// races in tests); just update it.
+	if w := p.probe(base, tag); w >= 0 {
+		if dirty {
+			p.state[base+w] |= stateDirty
+		}
+		p.touch(base, w)
+		return Victim{}
+	}
+	// Choose victim: invalid way first, else LRU-most.
+	vw, rank := 0, -1
+	for w := 0; w < p.ways; w++ {
+		if p.state[base+w]&stateValid == 0 {
+			vw, rank = w, -1
+			break
+		}
+		if r := int(p.lru[base+w]); r > rank {
+			vw, rank = w, r
+		}
+	}
+	var v Victim
+	idx := base + vw
+	if p.state[idx]&stateValid != 0 {
+		v = Victim{
+			Addr:  p.tags[idx] << LineShift,
+			Valid: true,
+			Dirty: p.state[idx]&stateDirty != 0,
+		}
+	}
+	p.tags[idx] = tag
+	p.state[idx] = stateValid
+	if dirty {
+		p.state[idx] |= stateDirty
+	}
+	p.touch(base, vw)
+	return v
+}
+
+// invalidate drops line a if present, returning whether it was present and
+// dirty. Used when the DMA engine overwrites a buffer a core has cached.
+func (p *private) invalidate(a uint64) (present, dirty bool) {
+	base, tag := p.locate(a)
+	if w := p.probe(base, tag); w >= 0 {
+		dirty = p.state[base+w]&stateDirty != 0
+		p.state[base+w] = 0
+		return true, dirty
+	}
+	return false, false
+}
+
+func (p *private) contains(a uint64) bool {
+	base, tag := p.locate(a)
+	return p.probe(base, tag) >= 0
+}

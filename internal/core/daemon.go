@@ -1,0 +1,651 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/rdt"
+)
+
+// groupRates are one interval's derived metrics for a group.
+type groupRates struct {
+	IPC      float64
+	RefsPS   float64
+	MissPS   float64
+	MissRate float64
+}
+
+// intervalSample is one interval's derived metrics for the whole system.
+type intervalSample struct {
+	perGroup    map[int]groupRates
+	ddioHitPS   float64
+	ddioMissPS  float64
+	totalRefsPS float64
+}
+
+// IterationInfo describes one daemon iteration, for tracing (Fig. 11's time
+// series) and the iatd log output.
+type IterationInfo struct {
+	NowNS      float64
+	State      State
+	Stable     bool
+	Action     string
+	DDIOWays   int
+	DDIOMask   cache.WayMask
+	Masks      map[int]cache.WayMask // per CLOS
+	DDIOHitPS  float64
+	DDIOMissPS float64
+}
+
+// StepTimings are the wall-clock costs of the last iteration's steps,
+// measured exactly as the paper's Fig. 15 does: Poll Prof Data separately
+// from State Transition + LLC Re-alloc.
+type StepTimings struct {
+	Poll       time.Duration
+	Transition time.Duration
+	Realloc    time.Duration
+	Stable     bool
+}
+
+// Daemon is the IAT daemon. Construct with NewDaemon, then call Tick
+// periodically (the simulated platform polls it every epoch; it iterates
+// once per Params.IntervalNS). Not safe for concurrent use.
+type Daemon struct {
+	sys  System
+	P    Params
+	Opts Options
+
+	state    State
+	needInfo bool
+
+	groups   []*Group // registration order
+	byCLOS   map[int]*Group
+	cores    map[int][]int // CLOS -> member cores
+	nWays    int
+	ddioWays int
+	topCLOS  int // group currently (candidate for) sharing with DDIO
+
+	lastIterNS   float64
+	prevCumTime  float64
+	prevCum      map[int]rdt.CoreCounters
+	prevDDIO     rdt.DDIOCounters
+	havePrevCum  bool
+	prevRates    intervalSample
+	havePrevRate bool
+
+	timings  StepTimings
+	iters    uint64
+	unstable uint64
+
+	// OnIteration, when set, is invoked at the end of every iteration.
+	OnIteration func(IterationInfo)
+}
+
+// NewDaemon builds a daemon over sys. It performs the Get Tenant Info and
+// LLC Alloc steps on the first Tick.
+func NewDaemon(sys System, p Params, opts Options) (*Daemon, error) {
+	if err := p.Validate(sys.NumWays()); err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		sys:        sys,
+		P:          p,
+		Opts:       opts,
+		state:      LowKeep,
+		needInfo:   true,
+		nWays:      sys.NumWays(),
+		topCLOS:    -1,
+		lastIterNS: -1e18,
+	}, nil
+}
+
+// State returns the FSM state.
+func (d *Daemon) State() State { return d.state }
+
+// DDIOWays returns the daemon's view of the DDIO way count.
+func (d *Daemon) DDIOWays() int { return d.ddioWays }
+
+// Timings returns the wall-clock step costs of the last iteration.
+func (d *Daemon) Timings() StepTimings { return d.timings }
+
+// Iterations returns (total, unstable) iteration counts.
+func (d *Daemon) Iterations() (total, unstable uint64) { return d.iters, d.unstable }
+
+// NotifyTenantsChanged makes the next iteration re-run Get Tenant Info and
+// LLC Alloc (tenant addition/removal, Sec. IV-E).
+func (d *Daemon) NotifyTenantsChanged() { d.needInfo = true }
+
+// Tick drives the daemon from the platform's epoch loop; it iterates once
+// per IntervalNS of simulated time.
+func (d *Daemon) Tick(nowNS float64) {
+	if nowNS-d.lastIterNS < d.P.IntervalNS {
+		return
+	}
+	d.lastIterNS = nowNS
+	d.iterate(nowNS)
+}
+
+// getTenantInfo implements the Get Tenant Info + LLC Alloc steps: it builds
+// the allocation groups (tenants sharing a CLOS form one group) and adopts
+// the currently programmed masks as the initial allocation.
+func (d *Daemon) getTenantInfo() {
+	tenants := d.sys.Tenants()
+	d.byCLOS = make(map[int]*Group)
+	d.cores = make(map[int][]int)
+	d.groups = d.groups[:0]
+	for _, t := range tenants {
+		g := d.byCLOS[t.CLOS]
+		if g == nil {
+			g = &Group{CLOS: t.CLOS, Priority: t.Priority}
+			d.byCLOS[t.CLOS] = g
+			d.groups = append(d.groups, g)
+		}
+		g.Names = append(g.Names, t.Name)
+		if t.IO {
+			g.IO = true
+		}
+		if t.Priority == Stack {
+			g.Priority = Stack
+		} else if t.Priority == PC && g.Priority != Stack {
+			g.Priority = PC
+		}
+		d.cores[t.CLOS] = append(d.cores[t.CLOS], t.Cores...)
+	}
+	for _, g := range d.groups {
+		g.Width = d.sys.CLOSMask(g.CLOS).Count()
+	}
+	d.ddioWays = d.sys.DDIOMask().Count()
+	// Reset sampling state: new tenants mean old deltas are meaningless.
+	d.havePrevCum = false
+	d.havePrevRate = false
+	d.needInfo = false
+}
+
+// relDelta is the relative change of cur vs prev with a noise floor on the
+// denominator.
+func relDelta(cur, prev, floor float64) float64 {
+	denom := prev
+	if denom < floor {
+		denom = floor
+	}
+	if denom == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (cur - prev) / denom
+}
+
+// poll reads all counters and derives the interval sample. It returns
+// (sample, true) or (zero, false) when this is the first (baseline) read.
+func (d *Daemon) poll(nowNS float64) (intervalSample, bool) {
+	cum := make(map[int]rdt.CoreCounters, len(d.groups))
+	for _, g := range d.groups {
+		var c rdt.CoreCounters
+		for _, core := range d.cores[g.CLOS] {
+			c.Add(d.sys.ReadCore(core))
+		}
+		cum[g.CLOS] = c
+	}
+	ddio := d.sys.ReadDDIO()
+	// Track externally applied DDIO way changes (e.g. the Fig. 10
+	// experiment flips the register manually while DDIO adjustment is
+	// disabled).
+	d.ddioWays = d.sys.DDIOMask().Count()
+
+	if !d.havePrevCum {
+		d.prevCum, d.prevDDIO, d.prevCumTime = cum, ddio, nowNS
+		d.havePrevCum = true
+		return intervalSample{}, false
+	}
+	dt := (nowNS - d.prevCumTime) / 1e9
+	if dt <= 0 {
+		dt = 1
+	}
+	s := intervalSample{perGroup: make(map[int]groupRates, len(d.groups))}
+	for clos, c := range cum {
+		dd := c.Sub(d.prevCum[clos])
+		gr := groupRates{
+			IPC:      dd.IPC(),
+			RefsPS:   float64(dd.LLCRefs) / dt,
+			MissPS:   float64(dd.LLCMisses) / dt,
+			MissRate: dd.MissRate(),
+		}
+		s.perGroup[clos] = gr
+		s.totalRefsPS += gr.RefsPS
+		if g := d.byCLOS[clos]; g != nil {
+			g.RefsPerSec = gr.RefsPS
+			g.MissPerSec = gr.MissPS
+			g.MissRate = gr.MissRate
+		}
+	}
+	dd := ddio.Sub(d.prevDDIO)
+	s.ddioHitPS = float64(dd.Hits) / dt
+	s.ddioMissPS = float64(dd.Misses) / dt
+	d.prevCum, d.prevDDIO, d.prevCumTime = cum, ddio, nowNS
+	return s, true
+}
+
+// changes summarises what moved between two interval samples.
+type changes struct {
+	any         bool
+	ddio        bool
+	hitDown     bool
+	missUp      bool
+	missDown    bool
+	bigMissDrop bool
+	refsUp      bool
+	// groups whose IPC changed along with LLC refs/misses
+	coreChanged []int // CLOS ids
+	// groups with only-IPC changes are ignored per Sec. IV-B case (1)
+}
+
+func (d *Daemon) detect(cur, prev intervalSample) changes {
+	T := d.P.ThresholdStable
+	const ipcFloor = 0.05
+	refsFloor := d.P.ThresholdMissLowPerSec / 10
+	ddioFloor := d.P.ThresholdMissLowPerSec / 20
+
+	var ch changes
+	relHit := relDelta(cur.ddioHitPS, prev.ddioHitPS, ddioFloor)
+	relMiss := relDelta(cur.ddioMissPS, prev.ddioMissPS, ddioFloor)
+	ch.ddio = relHit > T || relHit < -T || relMiss > T || relMiss < -T
+	ch.hitDown = relHit < -T
+	ch.missUp = relMiss > T
+	ch.missDown = relMiss < -T
+	ch.bigMissDrop = relMiss < -d.P.MissDropFactor
+	ch.refsUp = relDelta(cur.totalRefsPS, prev.totalRefsPS, refsFloor) > T
+	ch.any = ch.ddio
+
+	for clos, g := range cur.perGroup {
+		p := prev.perGroup[clos]
+		ipcCh := relDelta(g.IPC, p.IPC, ipcFloor)
+		refsCh := relDelta(g.RefsPS, p.RefsPS, refsFloor)
+		missCh := relDelta(g.MissPS, p.MissPS, refsFloor)
+		ipcMoved := ipcCh > T || ipcCh < -T
+		llcMoved := refsCh > T || refsCh < -T || missCh > T || missCh < -T
+		if ipcMoved || llcMoved {
+			ch.any = true
+		}
+		if ipcMoved && llcMoved {
+			ch.coreChanged = append(ch.coreChanged, clos)
+		}
+	}
+	sort.Ints(ch.coreChanged)
+	return ch
+}
+
+// iterate is one Poll Prof Data -> State Transition -> LLC Re-alloc pass.
+func (d *Daemon) iterate(nowNS float64) {
+	if d.needInfo {
+		d.getTenantInfo()
+	}
+	t0 := time.Now()
+	cur, ok := d.poll(nowNS)
+	t1 := time.Now()
+	d.timings = StepTimings{Poll: t1.Sub(t0), Stable: true}
+	if !ok {
+		return
+	}
+	if !d.havePrevRate {
+		d.prevRates = cur
+		d.havePrevRate = true
+		return
+	}
+	d.iters++
+
+	ch := d.detect(cur, d.prevRates)
+	prev := d.prevRates
+	d.prevRates = cur
+
+	if !ch.any {
+		// Stability gates TRANSITIONS, not progression: the paper's
+		// I/O Demand and Reclaim states keep moving one way per
+		// iteration until they reach DDIO_WAYS_MAX / DDIO_WAYS_MIN
+		// (Sec. IV-C), even when the counters have settled.
+		var action string
+		switch {
+		case d.state == Reclaim:
+			action = "continue: " + d.act(cur)
+		case d.state == IODemand && cur.ddioMissPS > d.P.ThresholdMissLowPerSec:
+			action = "continue: " + d.act(cur)
+		}
+		if action == "" {
+			d.emit(nowNS, cur, true, "stable")
+			return
+		}
+		d.unstable++
+		d.timings.Stable = false
+		d.timings.Realloc = time.Since(t1)
+		d.emit(nowNS, cur, false, action)
+		return
+	}
+	d.unstable++
+	d.timings.Stable = false
+
+	action := d.decide(cur, prev, ch)
+	t2 := time.Now()
+	d.timings.Transition = t2.Sub(t1)
+	d.timings.Realloc = time.Since(t2)
+	d.emit(nowNS, cur, false, action)
+}
+
+// decide routes an unstable iteration through the special cases of
+// Sec. IV-B and the FSM of Sec. IV-C, performing the LLC Re-alloc actions.
+// It returns a human-readable action description.
+func (d *Daemon) decide(cur, prev intervalSample, ch changes) string {
+	// Case (1): IPC-only change with no LLC and no DDIO movement is
+	// neither cache/memory nor I/O; detect() already excludes such
+	// groups from coreChanged, so if nothing else moved we are done.
+	if !ch.ddio && len(ch.coreChanged) == 0 {
+		return "ipc-only: ignored"
+	}
+
+	// Case (2): a tenant's IPC and LLC behaviour changed while the I/O is
+	// not pressing the LLC (no DDIO-miss movement and a quiet write-
+	// allocate rate) — pure core demand for LLC space; serve it with the
+	// core-side allocator. The DDIO *hit* rate may still move (it tracks
+	// delivered throughput), which is why the gate is on misses.
+	ioQuiet := cur.ddioMissPS < d.P.ThresholdMissLowPerSec && !ch.missUp
+	if !ch.ddio || (ioQuiet && len(ch.coreChanged) > 0) {
+		if d.Opts.DisableTenantAdjust {
+			return "core-demand (tenant adjust disabled)"
+		}
+		if g := d.pickCoreChanged(cur, prev, ch.coreChanged); g != nil {
+			if d.growGroup(g) {
+				d.apply()
+				return fmt.Sprintf("case2: +1 way for clos %d", g.CLOS)
+			}
+		}
+		return "case2: no action"
+	}
+
+	// Case (3): a non-I/O tenant overlapping DDIO changed together with
+	// the DDIO counters — try shuffling first.
+	if !d.Opts.DisableShuffle && d.overlappedNonIOChanged(ch.coreChanged) {
+		if d.apply() {
+			return "case3: shuffled"
+		}
+		// Shuffle was a no-op; fall through to the FSM.
+	}
+
+	next := d.transition(cur, prev, ch)
+	from := d.state
+	d.state = next
+	act := d.act(cur)
+	return fmt.Sprintf("%s->%s %s", from, d.state, act)
+}
+
+// pickCoreChanged chooses the group whose LLC miss rate rose the most.
+func (d *Daemon) pickCoreChanged(cur, prev intervalSample, closes []int) *Group {
+	var best *Group
+	bestDelta := 0.0
+	for _, clos := range closes {
+		g := d.byCLOS[clos]
+		if g == nil {
+			continue
+		}
+		delta := cur.perGroup[clos].MissRate - prev.perGroup[clos].MissRate
+		if delta > bestDelta {
+			best, bestDelta = g, delta
+		}
+	}
+	return best
+}
+
+// overlappedNonIOChanged reports whether any changed group is non-I/O and
+// currently overlaps the DDIO ways.
+func (d *Daemon) overlappedNonIOChanged(closes []int) bool {
+	ddio := d.sys.DDIOMask()
+	for _, clos := range closes {
+		g := d.byCLOS[clos]
+		if g == nil || g.IO {
+			continue
+		}
+		if d.sys.CLOSMask(clos).Overlaps(ddio) {
+			return true
+		}
+	}
+	return false
+}
+
+// transition implements the Mealy FSM of Fig. 6.
+func (d *Daemon) transition(cur, prev intervalSample, ch changes) State {
+	missHigh := cur.ddioMissPS > d.P.ThresholdMissLowPerSec
+	switch d.state {
+	case LowKeep:
+		if missHigh {
+			if ch.hitDown && ch.refsUp {
+				return CoreDemand // (3) in Fig. 6
+			}
+			return IODemand // (1)
+		}
+		return LowKeep
+	case IODemand:
+		if ch.hitDown && !ch.missDown {
+			return CoreDemand // (7)
+		}
+		if ch.bigMissDrop || !missHigh {
+			return Reclaim // (6)
+		}
+		return IODemand // (5), HighKeep entry handled by act()
+	case HighKeep:
+		if ch.hitDown && !ch.missDown {
+			return CoreDemand // (12)
+		}
+		if ch.bigMissDrop || !missHigh {
+			return Reclaim // (11)
+		}
+		return HighKeep
+	case CoreDemand:
+		if ch.missDown {
+			return Reclaim // (8)
+		}
+		if ch.missUp && !ch.hitDown {
+			return IODemand // (4)
+		}
+		return CoreDemand
+	case Reclaim:
+		if ch.missUp && missHigh {
+			if ch.hitDown {
+				return CoreDemand // (9)
+			}
+			return IODemand // (13)
+		}
+		return Reclaim // (2) to LowKeep handled by act()
+	}
+	return d.state
+}
+
+// act performs the LLC Re-alloc for the (new) state and returns a
+// description.
+func (d *Daemon) act(cur intervalSample) string {
+	switch d.state {
+	case IODemand:
+		if d.Opts.DisableDDIOAdjust {
+			return "(ddio adjust disabled)"
+		}
+		if d.ddioWays < d.P.DDIOWaysMax {
+			d.ddioWays += d.growthSteps(cur.ddioMissPS)
+			if d.ddioWays > d.P.DDIOWaysMax {
+				d.ddioWays = d.P.DDIOWaysMax
+			}
+			d.apply()
+		}
+		if d.ddioWays >= d.P.DDIOWaysMax {
+			d.state = HighKeep // (10)
+			return fmt.Sprintf("ddio=%d (max, ->HighKeep)", d.ddioWays)
+		}
+		return fmt.Sprintf("ddio=%d", d.ddioWays)
+	case CoreDemand:
+		if d.Opts.DisableTenantAdjust {
+			return "(tenant adjust disabled)"
+		}
+		g := d.selectCoreDemand(cur)
+		if g != nil && d.growGroup(g) {
+			d.apply()
+			return fmt.Sprintf("+1 way clos %d", g.CLOS)
+		}
+		return "no grow candidate"
+	case Reclaim:
+		desc := d.reclaimOne(cur)
+		if d.ddioWays <= d.P.DDIOWaysMin {
+			d.state = LowKeep // (2)
+			desc += " ->LowKeep"
+		}
+		return desc
+	case LowKeep, HighKeep:
+		return "hold"
+	}
+	return ""
+}
+
+// selectCoreDemand picks the group to grow in the Core Demand state:
+// the software stack under the aggregation model, otherwise the I/O tenant
+// with the largest LLC miss-rate increase (Sec. IV-D).
+func (d *Daemon) selectCoreDemand(cur intervalSample) *Group {
+	for _, g := range d.groups {
+		if g.Priority == Stack {
+			return g
+		}
+	}
+	var best *Group
+	bestDelta := -1.0
+	for _, g := range d.groups {
+		if !g.IO {
+			continue
+		}
+		delta := cur.perGroup[g.CLOS].MissRate - d.prevMissRate(g.CLOS)
+		if delta > bestDelta {
+			best, bestDelta = g, delta
+		}
+	}
+	return best
+}
+
+// prevMissRate returns the group's previous-interval miss rate (0 when
+// unknown). The daemon keeps it on the Group for simplicity.
+func (d *Daemon) prevMissRate(clos int) float64 {
+	if g := d.byCLOS[clos]; g != nil {
+		return g.MissRate
+	}
+	return 0
+}
+
+// growthSteps returns how many ways one iteration grants under the
+// configured growth policy.
+func (d *Daemon) growthSteps(missPS float64) int {
+	if d.P.Growth != GrowUCP {
+		return 1
+	}
+	steps := 1
+	for x := missPS; x > 4*d.P.ThresholdMissLowPerSec && steps < 3; x /= 4 {
+		steps++
+	}
+	return steps
+}
+
+// growGroup widens a group by one way if total capacity allows.
+func (d *Daemon) growGroup(g *Group) bool {
+	if TotalWidth(d.groups)+1 > d.nWays {
+		return false
+	}
+	g.Width++
+	return true
+}
+
+// reclaimOne takes one way back from DDIO or from an over-provisioned
+// tenant, preferring DDIO while the I/O is quiet.
+func (d *Daemon) reclaimOne(cur intervalSample) string {
+	quietIO := cur.ddioMissPS < d.P.ThresholdMissLowPerSec
+	if !d.Opts.DisableDDIOAdjust && quietIO && d.ddioWays > d.P.DDIOWaysMin {
+		d.ddioWays--
+		d.apply()
+		return fmt.Sprintf("ddio=%d", d.ddioWays)
+	}
+	if !d.Opts.DisableTenantAdjust {
+		var victim *Group
+		for _, g := range d.groups {
+			if g.Width <= 1 || g.MissRate > d.P.TenantMissRateFloor {
+				continue
+			}
+			if victim == nil || g.RefsPerSec < victim.RefsPerSec {
+				victim = g
+			}
+		}
+		if victim != nil {
+			victim.Width--
+			d.apply()
+			return fmt.Sprintf("-1 way clos %d", victim.CLOS)
+		}
+	}
+	if !d.Opts.DisableDDIOAdjust && d.ddioWays > d.P.DDIOWaysMin {
+		d.ddioWays--
+		d.apply()
+		return fmt.Sprintf("ddio=%d", d.ddioWays)
+	}
+	return "nothing to reclaim"
+}
+
+// apply recomputes the layout and programs every mask that changed. It
+// returns true when at least one register was written.
+func (d *Daemon) apply() bool {
+	var order []*Group
+	if d.Opts.DisableShuffle {
+		order = OrderGroups(d.groups, -1, 0) // priority order, no refs sort hysteresis
+	} else {
+		order = OrderGroups(d.groups, d.topCLOS, d.P.ShuffleMargin)
+	}
+	masks, err := PackBottomUp(d.nWays, order)
+	if err != nil {
+		return false
+	}
+	wrote := false
+	for clos, m := range masks {
+		if d.sys.CLOSMask(clos) != m {
+			if err := d.sys.SetCLOSMask(clos, m); err == nil {
+				wrote = true
+			}
+		}
+	}
+	if !d.Opts.DisableDDIOAdjust {
+		dm := cache.ContiguousMask(d.nWays-d.ddioWays, d.ddioWays)
+		if d.sys.DDIOMask() != dm {
+			if err := d.sys.SetDDIOMask(dm); err == nil {
+				wrote = true
+			}
+		}
+	}
+	if len(order) > 0 {
+		top := order[len(order)-1]
+		if top.Priority == BE {
+			d.topCLOS = top.CLOS
+		}
+	}
+	return wrote
+}
+
+// emit publishes the iteration trace.
+func (d *Daemon) emit(nowNS float64, cur intervalSample, stable bool, action string) {
+	if d.OnIteration == nil {
+		return
+	}
+	masks := make(map[int]cache.WayMask, len(d.groups))
+	for _, g := range d.groups {
+		masks[g.CLOS] = d.sys.CLOSMask(g.CLOS)
+	}
+	d.OnIteration(IterationInfo{
+		NowNS:      nowNS,
+		State:      d.state,
+		Stable:     stable,
+		Action:     action,
+		DDIOWays:   d.ddioWays,
+		DDIOMask:   d.sys.DDIOMask(),
+		Masks:      masks,
+		DDIOHitPS:  cur.ddioHitPS,
+		DDIOMissPS: cur.ddioMissPS,
+	})
+}

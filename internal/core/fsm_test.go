@@ -1,0 +1,101 @@
+package core
+
+import "testing"
+
+// TestFSMTransitionTable pins the Mealy FSM against the paper's Fig. 6,
+// edge by edge. Each case fabricates the counter condition the paper
+// describes and asserts the resulting state. Inputs mirror the `changes`
+// summary the poll step produces.
+func TestFSMTransitionTable(t *testing.T) {
+	mk := func(state State) *Daemon {
+		m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+		p := DefaultParams()
+		p.IntervalNS = 100e6
+		d, err := NewDaemon(m, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.state = state
+		return d
+	}
+	missHigh := func(s *intervalSample) { s.ddioMissPS = 5e6 }
+	missLow := func(s *intervalSample) { s.ddioMissPS = 1e3 }
+
+	cases := []struct {
+		name string
+		from State
+		ch   changes
+		cur  func(*intervalSample)
+		want State
+	}{
+		// ① Low Keep -> I/O Demand: miss count crosses THRESHOLD_MISS_LOW.
+		{"1:lowkeep->iodemand", LowKeep, changes{missUp: true}, missHigh, IODemand},
+		// ③ Low Keep -> Core Demand: misses high, hits falling, refs rising.
+		{"3:lowkeep->coredemand", LowKeep, changes{hitDown: true, refsUp: true}, missHigh, CoreDemand},
+		// Low Keep self-loop while I/O is quiet.
+		{"lowkeep-hold", LowKeep, changes{missUp: true}, missLow, LowKeep},
+		// ⑤ I/O Demand self-loop while misses persist.
+		{"5:iodemand-hold", IODemand, changes{missUp: true}, missHigh, IODemand},
+		// ⑥ I/O Demand -> Reclaim on a significant miss drop.
+		{"6:iodemand->reclaim", IODemand, changes{bigMissDrop: true, missDown: true}, missHigh, Reclaim},
+		// I/O Demand -> Reclaim when misses fall below the threshold.
+		{"iodemand->reclaim-low", IODemand, changes{missDown: true}, missLow, Reclaim},
+		// ⑦ I/O Demand -> Core Demand: hits fall without a miss decrease.
+		{"7:iodemand->coredemand", IODemand, changes{hitDown: true, missUp: true}, missHigh, CoreDemand},
+		// ⑪ High Keep -> Reclaim on a significant miss drop.
+		{"11:highkeep->reclaim", HighKeep, changes{bigMissDrop: true, missDown: true}, missHigh, Reclaim},
+		// ⑫ High Keep -> Core Demand: hits fall, misses hold.
+		{"12:highkeep->coredemand", HighKeep, changes{hitDown: true}, missHigh, CoreDemand},
+		// High Keep holds while misses persist.
+		{"highkeep-hold", HighKeep, changes{missUp: true}, missHigh, HighKeep},
+		// ⑧ Core Demand -> Reclaim when the miss count decreases.
+		{"8:coredemand->reclaim", CoreDemand, changes{missDown: true}, missHigh, Reclaim},
+		// ④ Core Demand -> I/O Demand: more misses, hits not falling.
+		{"4:coredemand->iodemand", CoreDemand, changes{missUp: true}, missHigh, IODemand},
+		// Core Demand self-loop otherwise.
+		{"coredemand-hold", CoreDemand, changes{refsUp: true}, missHigh, CoreDemand},
+		// ⑬ Reclaim -> I/O Demand on a meaningful miss increase.
+		{"13:reclaim->iodemand", Reclaim, changes{missUp: true}, missHigh, IODemand},
+		// ⑨ Reclaim -> Core Demand: miss increase with falling hits.
+		{"9:reclaim->coredemand", Reclaim, changes{missUp: true, hitDown: true}, missHigh, CoreDemand},
+		// ② Reclaim self-loop while quiet (reaches Low Keep via act()).
+		{"2:reclaim-hold", Reclaim, changes{missDown: true}, missLow, Reclaim},
+	}
+	for _, c := range cases {
+		d := mk(c.from)
+		var cur, prev intervalSample
+		c.cur(&cur)
+		if got := d.transition(cur, prev, c.ch); got != c.want {
+			t.Errorf("%s: %v -> %v, want %v", c.name, c.from, got, c.want)
+		}
+	}
+}
+
+// TestFSMEntryActionsOnBoundaries pins the act() boundary behaviour: ⑩
+// (I/O Demand reaching DDIO_WAYS_MAX enters High Keep) and ② (Reclaim
+// reaching DDIO_WAYS_MIN enters Low Keep).
+func TestFSMEntryActionsOnBoundaries(t *testing.T) {
+	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+	p := DefaultParams()
+	p.IntervalNS = 100e6
+	d, err := NewDaemon(m, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.getTenantInfo()
+
+	// ⑩: at max-1 ways, one more grow lands in High Keep.
+	d.ddioWays = p.DDIOWaysMax - 1
+	d.state = IODemand
+	d.act(intervalSample{ddioMissPS: 5e6})
+	if d.state != HighKeep || d.ddioWays != p.DDIOWaysMax {
+		t.Fatalf("after max grow: state=%v ways=%d", d.state, d.ddioWays)
+	}
+	// ②: at min+1 ways, one reclaim lands in Low Keep.
+	d.ddioWays = p.DDIOWaysMin + 1
+	d.state = Reclaim
+	d.act(intervalSample{ddioMissPS: 0})
+	if d.state != LowKeep || d.ddioWays != p.DDIOWaysMin {
+		t.Fatalf("after min reclaim: state=%v ways=%d", d.state, d.ddioWays)
+	}
+}

@@ -1,0 +1,157 @@
+// Package core implements IAT, the paper's contribution: the first I/O-aware
+// last-level-cache management mechanism. IAT runs as a daemon that
+// periodically polls hardware performance counters (per-tenant IPC, LLC
+// references/misses; chip-wide DDIO hits/misses), classifies the system
+// state with a Mealy finite state machine (Low Keep / High Keep / I/O Demand
+// / Core Demand / Reclaim), and re-allocates LLC ways between DDIO and the
+// tenants — including shuffling which best-effort tenant shares ways with
+// DDIO — to mitigate the Leaky DMA and Latent Contender problems.
+//
+// The daemon is hardware-agnostic: everything it observes or programs goes
+// through the System interface, implemented over the simulated platform in
+// this repository (internal/bridge) and implementable over real MSRs with
+// the same code.
+package core
+
+import "fmt"
+
+// Params are the IAT tuning parameters of Table II of the paper, expressed
+// as rates so the polling interval is an independent knob.
+type Params struct {
+	// ThresholdStable is the relative per-event delta below which the
+	// system is considered unchanged (3% in the paper).
+	ThresholdStable float64
+	// ThresholdMissLowPerSec is the DDIO write-allocate rate above which
+	// the I/O is considered to be pressing the LLC (1M/s in the paper).
+	ThresholdMissLowPerSec float64
+	// DDIOWaysMin / DDIOWaysMax bound the DDIO way allocation (1 and 6).
+	DDIOWaysMin int
+	DDIOWaysMax int
+	// IntervalNS is the sleep interval between iterations (1s in the
+	// paper; simulations may shorten it — the thresholds are rates, so
+	// behaviour is interval-independent).
+	IntervalNS float64
+	// MissDropFactor is the relative DDIO-miss decrease treated as a
+	// "significant degradation" that sends I/O Demand / High Keep to
+	// Reclaim.
+	MissDropFactor float64
+	// TenantMissRateFloor is the per-tenant LLC miss rate below which a
+	// tenant is a reclaim candidate.
+	TenantMissRateFloor float64
+	// ShuffleMargin is the hysteresis on best-effort re-ordering: the
+	// DDIO-sharing tenant is replaced only when the challenger's LLC
+	// reference rate is below margin times the incumbent's.
+	ShuffleMargin float64
+	// Growth selects the re-allocation increment policy (Sec. IV-D:
+	// "miss-curve-based increment like UCP can also be explored").
+	Growth GrowthPolicy
+}
+
+// GrowthPolicy is the re-allocation increment strategy.
+type GrowthPolicy int
+
+// Growth policies.
+const (
+	// GrowOneWay grants exactly one way per iteration (the paper's
+	// default).
+	GrowOneWay GrowthPolicy = iota
+	// GrowUCP grants 1-3 ways per iteration scaled by how far the DDIO
+	// miss rate sits above THRESHOLD_MISS_LOW — a utility-style
+	// increment in the spirit of UCP, converging faster under heavy
+	// pressure at the cost of occasional overshoot.
+	GrowUCP
+)
+
+// String implements fmt.Stringer.
+func (g GrowthPolicy) String() string {
+	switch g {
+	case GrowOneWay:
+		return "one-way"
+	case GrowUCP:
+		return "ucp"
+	}
+	return fmt.Sprintf("GrowthPolicy(%d)", int(g))
+}
+
+// DefaultParams returns Table II plus the secondary knobs' defaults.
+func DefaultParams() Params {
+	return Params{
+		ThresholdStable:        0.03,
+		ThresholdMissLowPerSec: 1e6,
+		DDIOWaysMin:            1,
+		DDIOWaysMax:            6,
+		IntervalNS:             1e9,
+		MissDropFactor:         0.5,
+		TenantMissRateFloor:    0.05,
+		ShuffleMargin:          0.9,
+	}
+}
+
+// Validate checks parameter sanity against an LLC with nWays ways.
+func (p Params) Validate(nWays int) error {
+	if p.ThresholdStable <= 0 || p.ThresholdStable >= 1 {
+		return fmt.Errorf("core: ThresholdStable %v out of (0,1)", p.ThresholdStable)
+	}
+	if p.DDIOWaysMin < 1 || p.DDIOWaysMax < p.DDIOWaysMin || p.DDIOWaysMax > nWays {
+		return fmt.Errorf("core: DDIO way bounds [%d,%d] invalid for %d ways",
+			p.DDIOWaysMin, p.DDIOWaysMax, nWays)
+	}
+	if p.IntervalNS <= 0 {
+		return fmt.Errorf("core: IntervalNS must be positive")
+	}
+	return nil
+}
+
+// Options are the experiment isolation switches the paper's evaluation
+// flips (footnotes 3 and 4, and Sec. VI-C's "temporarily disable ...").
+type Options struct {
+	// DisableDDIOAdjust stops IAT from changing the DDIO way count (the
+	// Latent Contender experiment isolates shuffling this way).
+	DisableDDIOAdjust bool
+	// DisableShuffle stops best-effort tenants from being re-ordered
+	// against DDIO (the Core-only comparison point).
+	DisableShuffle bool
+	// DisableTenantAdjust stops IAT from growing/shrinking tenant
+	// allocations (the application study isolates DDIO sizing +
+	// shuffling this way).
+	DisableTenantAdjust bool
+}
+
+// State is the Mealy FSM state of Fig. 6.
+type State int
+
+// FSM states.
+const (
+	// LowKeep: I/O traffic is not pressing the LLC; DDIO ways stay at
+	// the minimum.
+	LowKeep State = iota
+	// IODemand: intensive I/O traffic; write allocates overflow the DDIO
+	// ways — grow them.
+	IODemand
+	// CoreDemand: a memory-intensive I/O application's cores are
+	// evicting the Rx buffers — grow the tenant's ways.
+	CoreDemand
+	// HighKeep: DDIO holds its maximum allocation; hold.
+	HighKeep
+	// Reclaim: I/O pressure receded with a mid-level allocation —
+	// reclaim a way per iteration from DDIO or an over-provisioned
+	// tenant.
+	Reclaim
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case LowKeep:
+		return "LowKeep"
+	case IODemand:
+		return "IODemand"
+	case CoreDemand:
+		return "CoreDemand"
+	case HighKeep:
+		return "HighKeep"
+	case Reclaim:
+		return "Reclaim"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}

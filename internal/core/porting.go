@@ -1,0 +1,43 @@
+package core
+
+// This file documents how to port the daemon to real hardware. It contains
+// no code on purpose: the daemon's only dependency is the System interface,
+// and the reproduction's simulated backend (internal/bridge) demonstrates
+// the full contract.
+//
+// # Porting IAT to a real Intel Xeon
+//
+// Implement core.System over the following primitives (the same ones the
+// paper's artifact, the enhanced pqos at github.com/FAST-UIUC/iat-pqos,
+// uses):
+//
+//	Tenants        parse a tenant file (internal/tenantfile's format) or
+//	               query the cluster orchestrator (Sec. IV-A).
+//	CLOSMask /     IA32_L3_QOS_MASK_n (MSR 0xC90+n) via pqos or the msr
+//	SetCLOSMask    kernel module; contiguity and population rules are
+//	               enforced by hardware exactly as internal/rdt enforces
+//	               them here.
+//	DDIOMask /     IIO_LLC_WAYS (MSR 0xC8B on Skylake-SP/Cascade Lake);
+//	SetDDIOMask    requires the msr module and ring 0. Note the register
+//	               is per-socket.
+//	ReadCore       INST_RETIRED.ANY, CPU_CLK_UNHALTED.THREAD,
+//	               LONGEST_LAT_CACHE.REFERENCE/MISS via perf_event_open
+//	               or pqos monitoring groups.
+//	ReadDDIO       the CHA uncore counters. Program one CHA's counter
+//	               pair with the LLC_LOOKUP event filtered to I/O
+//	               (write update) and the write-allocate event, read it,
+//	               and multiply by the slice count — Sec. V's sampling
+//	               trick, mirrored by internal/rdt.ReadDDIO.
+//
+// Counter reads must be cumulative and monotonic; the daemon differences
+// them itself and tolerates arbitrary polling gaps (rates are computed
+// against the observed interval).
+//
+// The daemon never sleeps on its own: call Tick from your own loop (the
+// paper uses a 1-second cadence; Params.IntervalNS gates iteration).
+// Pin the process to a dedicated core, or accept the ~0.08% overhead of
+// co-locating it (Sec. VI-D).
+//
+// Keep Params.ThresholdMissLowPerSec in real events per second on real
+// hardware — the /Scale division seen throughout internal/exp exists only
+// because the simulation divides every rate by its scale factor.

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"iatsim/internal/cache"
+	"iatsim/internal/rdt"
+)
+
+// Priority is a tenant's class, mirroring Sec. IV-A: performance-critical
+// and best-effort tenants, plus the special class for the aggregation
+// model's software stack.
+type Priority int
+
+// Priority values.
+const (
+	BE Priority = iota
+	PC
+	Stack
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case BE:
+		return "BE"
+	case PC:
+		return "PC"
+	case Stack:
+		return "stack"
+	}
+	return "?"
+}
+
+// TenantInfo is the per-tenant record of the Get Tenant Info step: cores,
+// class of service, whether the workload is I/O, and its priority. In the
+// paper this comes from a text file or the cluster orchestrator.
+type TenantInfo struct {
+	Name     string
+	Cores    []int
+	CLOS     int
+	IO       bool
+	Priority Priority
+}
+
+// System is everything IAT needs from the machine. The production
+// implementation would wrap pqos + the msr kernel module; the reproduction
+// wraps the simulated platform (internal/bridge). Counter reads are
+// cumulative; the daemon differences them itself.
+type System interface {
+	// Tenants enumerates the current tenants (Get Tenant Info).
+	Tenants() []TenantInfo
+	// NumWays returns the LLC associativity (the CBM width).
+	NumWays() int
+	// ReadCore reads one core's cumulative counters.
+	ReadCore(core int) rdt.CoreCounters
+	// ReadDDIO reads the chip-wide cumulative DDIO hit/miss counters.
+	ReadDDIO() rdt.DDIOCounters
+	// CLOSMask / SetCLOSMask read and program a class of service's CAT
+	// mask.
+	CLOSMask(clos int) cache.WayMask
+	SetCLOSMask(clos int, m cache.WayMask) error
+	// DDIOMask / SetDDIOMask read and program the IIO_LLC_WAYS register.
+	DDIOMask() cache.WayMask
+	SetDDIOMask(m cache.WayMask) error
+}

@@ -1,0 +1,173 @@
+// Package ddio implements the Data Direct I/O engine: the path by which a
+// PCIe device's DMA reads and writes interact with the LLC instead of
+// memory (Sec. II-B of the paper).
+//
+// Inbound (device-to-host) writes perform "write update" when the target
+// line is resident anywhere in the LLC, and "write allocate" into the
+// current IIO_LLC_WAYS mask otherwise, evicting dirty victims to memory.
+// Outbound (host-to-device) reads are served from the LLC when resident and
+// from memory otherwise, never allocating. The engine also issues the
+// coherence invalidation of the consuming core's private caches that a real
+// DMA write performs.
+package ddio
+
+import (
+	"iatsim/internal/cache"
+	"iatsim/internal/mem"
+	"iatsim/internal/msr"
+)
+
+// Stats counts engine activity (line granularity).
+type Stats struct {
+	LinesWritten uint64 // inbound DMA lines
+	WriteUpdates uint64 // lines that hit (write update)
+	WriteAllocs  uint64 // lines that missed (write allocate)
+	LinesRead    uint64 // outbound DMA lines
+	ReadsFromLLC uint64 // outbound lines served by the LLC
+	ReadsFromMem uint64 // outbound lines served by memory
+	// LinesBypassed counts inbound payload lines steered straight to
+	// memory by an application-aware (header-only) port policy.
+	LinesBypassed uint64
+}
+
+// Engine is the DDIO datapath. One engine serves all devices of a socket.
+type Engine struct {
+	f     *msr.File
+	hier  *cache.Hierarchy
+	mc    *mem.Controller
+	stats Stats
+
+	// Enabled mirrors the BIOS knob: when false, inbound data still
+	// transits the coherence domain but is immediately evicted, so every
+	// inbound line becomes a memory write and every device read a memory
+	// read (Sec. II-B's description of DDIO-disabled behaviour).
+	Enabled bool
+}
+
+// New builds the engine and programs the default 2-way DDIO mask (the two
+// highest ways, the hardware default the paper describes) into the register
+// file.
+func New(f *msr.File, hier *cache.Hierarchy, mc *mem.Controller) *Engine {
+	e := &Engine{f: f, hier: hier, mc: mc, Enabled: true}
+	ways := hier.Config().LLC.Ways
+	def := cache.ContiguousMask(ways-2, 2)
+	// Direct write: the engine owns this register's initial value.
+	if err := f.Write(msr.IIOLLCWays, uint64(def)); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Mask returns the current DDIO way mask (read without charging an MSR op
+// to the management plane; the hardware datapath does not pay rdmsr costs).
+func (e *Engine) Mask() cache.WayMask {
+	return cache.WayMask(e.f.Peek(msr.IIOLLCWays))
+}
+
+// DeviceWrite DMAs n contiguous bytes starting at a into the host,
+// consumerCore being the core that will process the data (its private
+// caches are invalidated line by line). Returns the number of lines that
+// missed (write allocates), mostly for tests.
+func (e *Engine) DeviceWrite(a uint64, n int, consumerCore int) (allocs int) {
+	before := e.stats.WriteAllocs
+	e.deviceWriteMasked(a, n, consumerCore, e.Mask(), &e.stats)
+	return int(e.stats.WriteAllocs - before)
+}
+
+// deviceWriteMasked is the inbound datapath with an explicit mask and stats
+// sink (the global counters for DeviceWrite, per-port counters for Ports).
+// Per-port writes also accumulate into the engine's global stats.
+func (e *Engine) deviceWriteMasked(a uint64, n, consumerCore int, mask cache.WayMask, st *Stats) {
+	if n <= 0 {
+		return
+	}
+	llc := e.hier.LLC()
+	first := a &^ (cache.LineSize - 1)
+	last := (a + uint64(n) - 1) &^ (cache.LineSize - 1)
+	for line := first; line <= last; line += cache.LineSize {
+		st.LinesWritten++
+		if st != &e.stats {
+			e.stats.LinesWritten++
+		}
+		if consumerCore >= 0 {
+			e.hier.InvalidatePrivate(consumerCore, line)
+		}
+		if !e.Enabled {
+			// DDIO off: data lands in the coherence domain and is
+			// immediately written out to memory.
+			e.mc.Write(cache.LineSize)
+			continue
+		}
+		hit, v := llc.IOWrite(line, mask)
+		if hit {
+			st.WriteUpdates++
+			if st != &e.stats {
+				e.stats.WriteUpdates++
+			}
+			continue
+		}
+		st.WriteAllocs++
+		if st != &e.stats {
+			e.stats.WriteAllocs++
+		}
+		if v.Valid && v.Dirty {
+			e.mc.Write(cache.LineSize)
+		}
+	}
+}
+
+// deviceWriteBypass writes inbound data straight to memory (the
+// application-aware payload path), invalidating stale private and LLC
+// copies so later core reads fetch the fresh data from DRAM.
+func (e *Engine) deviceWriteBypass(a uint64, n, consumerCore int, st *Stats) {
+	if n <= 0 {
+		return
+	}
+	first := a &^ (cache.LineSize - 1)
+	last := (a + uint64(n) - 1) &^ (cache.LineSize - 1)
+	for line := first; line <= last; line += cache.LineSize {
+		st.LinesBypassed++
+		e.stats.LinesBypassed++
+		if consumerCore >= 0 {
+			e.hier.InvalidatePrivate(consumerCore, line)
+		}
+		e.mc.Write(cache.LineSize)
+	}
+}
+
+// DeviceRead DMAs n contiguous bytes starting at a out of the host (e.g. a
+// NIC transmitting a packet). Lines resident in the LLC are read from
+// there; the rest come from memory without being allocated.
+func (e *Engine) DeviceRead(a uint64, n int) {
+	e.deviceReadInto(a, n, &e.stats)
+}
+
+func (e *Engine) deviceReadInto(a uint64, n int, st *Stats) {
+	if n <= 0 {
+		return
+	}
+	llc := e.hier.LLC()
+	first := a &^ (cache.LineSize - 1)
+	last := (a + uint64(n) - 1) &^ (cache.LineSize - 1)
+	for line := first; line <= last; line += cache.LineSize {
+		st.LinesRead++
+		if st != &e.stats {
+			e.stats.LinesRead++
+		}
+		if e.Enabled && llc.IORead(line) {
+			st.ReadsFromLLC++
+			if st != &e.stats {
+				e.stats.ReadsFromLLC++
+			}
+			continue
+		}
+		st.ReadsFromMem++
+		if st != &e.stats {
+			e.stats.ReadsFromMem++
+		}
+		e.mc.Read(cache.LineSize)
+	}
+}
+
+// Stats returns cumulative engine counters.
+func (e *Engine) Stats() Stats { return e.stats }

@@ -1,0 +1,141 @@
+package ddio
+
+import (
+	"testing"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/mem"
+	"iatsim/internal/msr"
+)
+
+func newEngine(t *testing.T) (*Engine, *cache.Hierarchy, *mem.Controller, *msr.File) {
+	t.Helper()
+	mc := mem.NewController(mem.Config{})
+	mc.BeginEpoch(1e9)
+	h := cache.NewHierarchy(cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitCycles: 4},
+		L2:    cache.LevelConfig{SizeBytes: 32 << 10, Ways: 8, HitCycles: 14},
+		LLC:   cache.LLCConfig{Slices: 2, Ways: 8, SetsPerSlice: 64, HitCycles: 44},
+	}, 2.3, mc)
+	f := msr.NewFile()
+	return New(f, h, mc), h, mc, f
+}
+
+func TestDefaultMaskIsTopTwoWays(t *testing.T) {
+	e, _, _, _ := newEngine(t)
+	if got := e.Mask(); got != cache.ContiguousMask(6, 2) {
+		t.Fatalf("default DDIO mask = %v", got)
+	}
+}
+
+func TestDeviceWriteAllocatesIntoMask(t *testing.T) {
+	e, h, _, _ := newEngine(t)
+	e.DeviceWrite(0x10000, 256, -1) // 4 lines
+	st := e.Stats()
+	if st.LinesWritten != 4 || st.WriteAllocs != 4 || st.WriteUpdates != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for off := 0; off < 256; off += 64 {
+		w := h.LLC().WayOf(0x10000 + uint64(off))
+		if w < 0 || !e.Mask().Has(w) {
+			t.Fatalf("line at +%d in way %d, outside %v", off, w, e.Mask())
+		}
+	}
+}
+
+func TestDeviceWriteUpdatesResidentLines(t *testing.T) {
+	e, _, _, _ := newEngine(t)
+	e.DeviceWrite(0x20000, 128, -1)
+	e.DeviceWrite(0x20000, 128, -1)
+	st := e.Stats()
+	if st.WriteUpdates != 2 || st.WriteAllocs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeviceWriteInvalidatesConsumerCaches(t *testing.T) {
+	e, h, _, _ := newEngine(t)
+	const a = 0x30000
+	h.Access(0, a, false, cache.FullMask(8)) // core 0 caches the line
+	e.DeviceWrite(a, 64, 0)
+	if h.PrivateContains(0, a) {
+		t.Fatal("DMA write left a stale copy in the consumer's private caches")
+	}
+}
+
+func TestDeviceReadFromLLCVsMemory(t *testing.T) {
+	e, _, mc, _ := newEngine(t)
+	e.DeviceWrite(0x40000, 64, -1)
+	memBefore := mc.Stats().BytesRead
+	e.DeviceRead(0x40000, 64) // resident: no memory traffic
+	if mc.Stats().BytesRead != memBefore {
+		t.Fatal("resident device read touched memory")
+	}
+	e.DeviceRead(0x50000, 64) // absent: memory read, no allocation
+	if mc.Stats().BytesRead != memBefore+64 {
+		t.Fatal("absent device read did not hit memory")
+	}
+	st := e.Stats()
+	if st.ReadsFromLLC != 1 || st.ReadsFromMem != 1 {
+		t.Fatalf("read stats = %+v", st)
+	}
+}
+
+func TestMaskFollowsRegister(t *testing.T) {
+	e, h, _, f := newEngine(t)
+	if err := f.Write(msr.IIOLLCWays, uint64(cache.ContiguousMask(2, 4))); err != nil {
+		t.Fatal(err)
+	}
+	e.DeviceWrite(0x60000, 64, -1)
+	w := h.LLC().WayOf(0x60000)
+	if !cache.ContiguousMask(2, 4).Has(w) {
+		t.Fatalf("allocation in way %d ignores the reprogrammed mask", w)
+	}
+}
+
+func TestDisabledDDIOGoesToMemory(t *testing.T) {
+	e, h, mc, _ := newEngine(t)
+	e.Enabled = false
+	before := mc.Stats().BytesWritten
+	e.DeviceWrite(0x70000, 128, -1)
+	if mc.Stats().BytesWritten != before+128 {
+		t.Fatal("disabled DDIO should write straight through to memory")
+	}
+	if h.LLC().Contains(0x70000) {
+		t.Fatal("disabled DDIO should not leave lines in the LLC")
+	}
+	before = mc.Stats().BytesRead
+	e.DeviceRead(0x70000, 128)
+	if mc.Stats().BytesRead != before+128 {
+		t.Fatal("disabled DDIO device read should come from memory")
+	}
+}
+
+func TestWriteSpanningPartialLines(t *testing.T) {
+	e, _, _, _ := newEngine(t)
+	// 100 bytes starting at offset 32 spans bytes 32..131: three lines.
+	e.DeviceWrite(0x80020, 100, -1)
+	if st := e.Stats(); st.LinesWritten != 3 {
+		t.Fatalf("lines written = %d, want 3", st.LinesWritten)
+	}
+	// Zero and negative sizes are no-ops.
+	before := e.Stats()
+	e.DeviceWrite(0x90000, 0, -1)
+	e.DeviceRead(0x90000, -5)
+	if e.Stats() != before {
+		t.Fatal("zero-size DMA changed stats")
+	}
+}
+
+func TestEvictedDirtyVictimWritesBack(t *testing.T) {
+	e, _, mc, _ := newEngine(t)
+	// Flood the 2 DDIO ways until dirty victims spill to memory.
+	before := mc.Stats().BytesWritten
+	for i := 0; i < 4096; i++ {
+		e.DeviceWrite(uint64(0x100000+i*64), 64, -1)
+	}
+	if mc.Stats().BytesWritten == before {
+		t.Fatal("overflowing the DDIO ways never wrote back to memory")
+	}
+}

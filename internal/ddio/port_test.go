@@ -1,0 +1,117 @@
+package ddio
+
+import (
+	"testing"
+
+	"iatsim/internal/cache"
+)
+
+func TestPortDefaultsToGlobalMask(t *testing.T) {
+	e, h, _, _ := newEngine(t)
+	p := e.NewPort()
+	if p.Mask() != e.Mask() {
+		t.Fatalf("port mask %v != global %v", p.Mask(), e.Mask())
+	}
+	p.Write(0x10000, 64, -1)
+	w := h.LLC().WayOf(0x10000)
+	if !e.Mask().Has(w) {
+		t.Fatalf("port write landed in way %d outside the global mask", w)
+	}
+}
+
+func TestPortDeviceAwareMask(t *testing.T) {
+	e, h, _, _ := newEngine(t)
+	p := e.NewPort()
+	own := cache.ContiguousMask(0, 2)
+	if err := p.SetMask(own); err != nil {
+		t.Fatal(err)
+	}
+	p.Write(0x20000, 256, -1)
+	for off := 0; off < 256; off += 64 {
+		w := h.LLC().WayOf(0x20000 + uint64(off))
+		if !own.Has(w) {
+			t.Fatalf("device-aware write in way %d outside %v", w, own)
+		}
+	}
+	// Another port with the default policy is unaffected.
+	q := e.NewPort()
+	q.Write(0x30000, 64, -1)
+	if w := h.LLC().WayOf(0x30000); !e.Mask().Has(w) {
+		t.Fatalf("default port write in way %d", w)
+	}
+}
+
+func TestPortMaskValidation(t *testing.T) {
+	e, _, _, _ := newEngine(t)
+	p := e.NewPort()
+	if err := p.SetMask(cache.WayMask(0b101)); err == nil {
+		t.Fatal("non-contiguous port mask accepted")
+	}
+	if err := p.SetMask(cache.ContiguousMask(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetMask(0); err != nil {
+		t.Fatal("revert to global should be allowed")
+	}
+	if p.Mask() != e.Mask() {
+		t.Fatal("revert did not restore the global mask")
+	}
+}
+
+func TestPortHeaderOnlyBypassesPayload(t *testing.T) {
+	e, h, mc, _ := newEngine(t)
+	p := e.NewPort()
+	p.SetHeaderOnly(64)
+	memBefore := mc.Stats().BytesWritten
+	p.Write(0x40000, 1500, -1) // 24 lines: 1 header + 23 payload
+	if !h.LLC().Contains(0x40000) {
+		t.Fatal("header line not placed in the LLC")
+	}
+	if h.LLC().Contains(0x40040) {
+		t.Fatal("payload line polluted the LLC despite header-only policy")
+	}
+	if mc.Stats().BytesWritten != memBefore+23*64 {
+		t.Fatalf("payload bypass wrote %d bytes to memory, want %d",
+			mc.Stats().BytesWritten-memBefore, 23*64)
+	}
+	st := p.Stats()
+	if st.LinesBypassed != 23 || st.LinesWritten != 1 {
+		t.Fatalf("port stats = %+v", st)
+	}
+}
+
+func TestPortHeaderOnlyInvalidatesConsumer(t *testing.T) {
+	e, h, _, _ := newEngine(t)
+	p := e.NewPort()
+	p.SetHeaderOnly(64)
+	const payload = 0x50040
+	h.Access(0, payload, false, cache.FullMask(8)) // core caches old payload
+	p.Write(0x50000, 128, 0)
+	if h.PrivateContains(0, payload) {
+		t.Fatal("bypassed payload left a stale private copy")
+	}
+}
+
+func TestPortStatsFeedGlobalStats(t *testing.T) {
+	e, _, _, _ := newEngine(t)
+	p := e.NewPort()
+	p.Write(0x60000, 128, -1)
+	p.Read(0x60000, 128)
+	g := e.Stats()
+	if g.LinesWritten != 2 || g.LinesRead != 2 {
+		t.Fatalf("global stats missed port traffic: %+v", g)
+	}
+}
+
+func TestPortHeaderOnlyFullPacketWhenLimitLarger(t *testing.T) {
+	e, h, _, _ := newEngine(t)
+	p := e.NewPort()
+	p.SetHeaderOnly(4096)
+	p.Write(0x70000, 128, -1)
+	if !h.LLC().Contains(0x70000) || !h.LLC().Contains(0x70040) {
+		t.Fatal("full packet should be cached when smaller than the header limit")
+	}
+	if p.Stats().LinesBypassed != 0 {
+		t.Fatal("nothing should be bypassed")
+	}
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+)
+
+// WriteRowsCSV writes any slice of flat row structs (the Fig*Row /
+// Ablation*Row types this package returns) as CSV: one column per exported
+// field, named by the lower-cased field name. Nested or reference-typed
+// fields are skipped, so only plottable scalars land in the file.
+func WriteRowsCSV(w io.Writer, rows any) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("exp: WriteRowsCSV wants a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return nil
+	}
+	elem := v.Index(0).Type()
+	if elem.Kind() != reflect.Struct {
+		return fmt.Errorf("exp: WriteRowsCSV wants a slice of structs, got %T", rows)
+	}
+	cw := csv.NewWriter(w)
+	var cols []int
+	var header []string
+	for i := 0; i < elem.NumField(); i++ {
+		f := elem.Field(i)
+		if !f.IsExported() || !scalarKind(f.Type.Kind()) {
+			continue
+		}
+		cols = append(cols, i)
+		header = append(header, f.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := make([]string, 0, len(cols))
+		for _, i := range cols {
+			row = append(row, formatScalar(v.Index(r).Field(i)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// scalarKind reports whether a field kind renders as a single CSV cell.
+func scalarKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+func formatScalar(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.String:
+		return v.String()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		// Stringer-typed ints (State, Placement-likes) render readably.
+		if s, ok := v.Interface().(fmt.Stringer); ok {
+			return s.String()
+		}
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		// Stringer-typed uints (cache.WayMask) render as way bitmaps.
+		if s, ok := v.Interface().(fmt.Stringer); ok {
+			return s.String()
+		}
+		return strconv.FormatUint(v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'g', 8, 64)
+	}
+	return ""
+}
+
+// SaveRowsCSV writes rows to dir/name.csv, creating dir as needed.
+func SaveRowsCSV(dir, name string, rows any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteRowsCSV(f, rows)
+}

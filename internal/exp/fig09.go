@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"iatsim/internal/bridge"
+	"iatsim/internal/core"
+	"iatsim/internal/pkt"
+)
+
+// Fig9Row is one plateau of Fig. 9: OVS behaviour at one live flow count.
+type Fig9Row struct {
+	Flows     int
+	Mode      string
+	OVSMissPS float64 // OVS cores' LLC misses per second
+	OVSIPC    float64
+	OVSCPP    float64
+	OVSWays   int // ways currently granted to the switch's CLOS
+}
+
+// Fig9Opts parameterises the run.
+type Fig9Opts struct {
+	Scale      float64
+	FlowSteps  []int
+	PlateauNS  float64 // time spent at each flow count before measuring
+	MeasureNS  float64
+	IntervalNS float64
+}
+
+// DefaultFig9Opts mirrors the paper's ramp: 64B line rate, flows growing
+// from a single flow to 1M.
+func DefaultFig9Opts() Fig9Opts {
+	return Fig9Opts{
+		Scale:      100,
+		FlowSteps:  []int{1, 10, 100, 1000, 10000, 100000, 1000000},
+		PlateauNS:  1.6e9,
+		MeasureNS:  0.6e9,
+		IntervalNS: 0.2e9,
+	}
+}
+
+// RunFig9 reproduces Fig. 9 ("identifying the core's demand"): the Leaky
+// DMA setup at 64B line rate while the number of flows in the traffic grows
+// over time. The growing OVS flow table thrashes the switch's static two
+// ways in the baseline; IAT detects the IPC drop + LLC miss growth and
+// grants the software stack more ways.
+func RunFig9(w io.Writer, o Fig9Opts) []Fig9Row {
+	var rows []Fig9Row
+	for _, mode := range []string{"baseline", "iat"} {
+		rows = append(rows, runFig9Ramp(mode, o)...)
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Fig 9 — flow scaling: 64B line rate through OVS, flow table ramp\n")
+		fmt.Fprintf(w, "%9s %9s %12s %8s %9s %8s\n", "flows", "mode", "OVSmiss/s", "OVS IPC", "OVS CPP", "OVSways")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%9d %9s %12.3e %8.3f %9.0f %8d\n",
+				r.Flows, r.Mode, r.OVSMissPS, r.OVSIPC, r.OVSCPP, r.OVSWays)
+		}
+	}
+	return rows
+}
+
+func runFig9Ramp(mode string, o Fig9Opts) []Fig9Row {
+	maxFlows := o.FlowSteps[len(o.FlowSteps)-1]
+	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: 64, Flows: maxFlows})
+	// Start the ramp from the first step.
+	setFlows := func(n int) {
+		s.OVS.SetFlows(2 * n) // two NICs' flows land in one classifier
+		for i, g := range s.Gens {
+			g.Flows = pkt.NewFlowSet(n, uint16(i), uint64(100+i))
+		}
+	}
+	if mode == "iat" {
+		params := core.DefaultParams()
+		params.IntervalNS = o.IntervalNS
+		params.ThresholdMissLowPerSec /= o.Scale
+		if _, err := bridge.NewIAT(s.P, params, core.Options{}); err != nil {
+			panic(err)
+		}
+	}
+	var rows []Fig9Row
+	for _, flows := range o.FlowSteps {
+		setFlows(flows)
+		s.P.Run(o.PlateauNS)
+		pktsA := s.OVSPackets()
+		win := Measure(s.P, o.MeasureNS)
+		pktsB := s.OVSPackets()
+		row := Fig9Row{
+			Flows:     flows,
+			Mode:      mode,
+			OVSMissPS: win.LLCMissPS(s.OVSCores...) * o.Scale,
+			OVSIPC:    win.IPC(s.OVSCores...),
+			OVSWays:   s.P.RDT.CLOSMask(1).Count(),
+		}
+		if d := pktsB - pktsA; d > 0 {
+			row.OVSCPP = float64(win.Cycles(s.OVSCores...)) / float64(d)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

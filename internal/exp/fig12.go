@@ -1,0 +1,287 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"iatsim/internal/ycsb"
+)
+
+// Fig12Row is one bar group of Fig. 12: a non-networking application's
+// execution time normalised to its solo run, co-running with one networking
+// application, under the baseline's placement range and under IAT.
+type Fig12Row struct {
+	Net string
+	App string
+	// SoloNS is the solo execution time.
+	SoloNS float64
+	// BaseMin/BaseMax bound the baseline over the placement corners
+	// (the paper's "randomly shuffled" range).
+	BaseMin float64
+	BaseMax float64
+	// IAT is the normalised execution time under IAT (started from the
+	// worst-case placement).
+	IAT float64
+}
+
+// Fig12Opts parameterises the application study.
+type Fig12Opts struct {
+	Scale float64
+	Nets  []string
+	Apps  []string
+	// Corners are the baseline placements to sweep (min/max come from
+	// these).
+	Corners     []Placement
+	IntervalNS  float64
+	TargetInstr uint64
+	TargetOps   uint64
+}
+
+// DefaultFig12Opts selects a representative subset of the paper's
+// memory-sensitive SPEC2006 benchmarks plus RocksDB; pass AllApps for the
+// complete sweep.
+func DefaultFig12Opts() Fig12Opts {
+	return Fig12Opts{
+		Scale:      100,
+		Nets:       []string{"redis", "fastclick"},
+		Apps:       []string{"mcf", "omnetpp", "xalancbmk", "gcc", "rocksdb:C"},
+		Corners:    []Placement{PlaceNone, PlacePC},
+		IntervalNS: 0.25e9,
+	}
+}
+
+// AllFig12Apps returns every application of the paper's Fig. 12.
+func AllFig12Apps() []string {
+	apps := []string{}
+	for _, w := range []string{"A", "B", "C", "D", "E", "F"} {
+		apps = append(apps, "rocksdb:"+w)
+	}
+	return append([]string{
+		"mcf", "omnetpp", "xalancbmk", "soplex", "sphinx3", "libquantum", "milc", "lbm", "gcc",
+	}, apps...)
+}
+
+// RunFig12 reproduces Fig. 12: normalised execution time of non-networking
+// applications co-running with Redis (aggregation) or a FastClick chain
+// (slicing), baseline placement range vs IAT.
+func RunFig12(w io.Writer, o Fig12Opts) []Fig12Row {
+	var rows []Fig12Row
+	for _, net := range o.Nets {
+		for _, app := range o.Apps {
+			rows = append(rows, runFig12Cell(net, app, o))
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Fig 12 — normalised execution time (co-run / solo)\n")
+		fmt.Fprintf(w, "%-10s %-12s %9s %9s %9s %9s\n", "net", "app", "solo(s)", "base-min", "base-max", "IAT")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-10s %-12s %9.2f %9.3f %9.3f %9.3f\n",
+				r.Net, r.App, r.SoloNS/1e9, r.BaseMin, r.BaseMax, r.IAT)
+		}
+	}
+	return rows
+}
+
+func runFig12Cell(net, app string, o Fig12Opts) Fig12Row {
+	base := AppMixOpts{
+		Scale: o.Scale, Net: net, App: app,
+		IntervalNS:  o.IntervalNS,
+		TargetInstr: o.TargetInstr,
+		TargetOps:   o.TargetOps,
+	}
+	soloOpts := base
+	soloOpts.Solo = true
+	solo := RunAppMix(soloOpts)
+
+	row := Fig12Row{Net: net, App: app, SoloNS: solo.ExecNS, BaseMin: 1e18}
+	for _, pl := range o.Corners {
+		opts := base
+		opts.Placement = pl
+		r := RunAppMix(opts)
+		n := normalized(r.ExecNS, solo.ExecNS)
+		if n < row.BaseMin {
+			row.BaseMin = n
+		}
+		if n > row.BaseMax {
+			row.BaseMax = n
+		}
+	}
+	iatOpts := base
+	iatOpts.Placement = PlacePC // start from the worst corner
+	iatOpts.IAT = true
+	row.IAT = normalized(RunAppMix(iatOpts).ExecNS, solo.ExecNS)
+	return row
+}
+
+func normalized(v, solo float64) float64 {
+	if solo <= 0 {
+		return 0
+	}
+	if v <= 0 {
+		return 0 // did not finish: reported as 0 to make it obvious
+	}
+	return v / solo
+}
+
+// Fig13Row is one YCSB workload of Fig. 13: RocksDB's normalised weighted
+// average operation latency.
+type Fig13Row struct {
+	Net      string
+	Workload string
+	BaseMin  float64
+	BaseMax  float64
+	IAT      float64
+}
+
+// RunFig13 reproduces Fig. 13: the normalised weighted average latency of
+// RocksDB under YCSB A-F, co-running with the two networking applications.
+func RunFig13(w io.Writer, o Fig12Opts) []Fig13Row {
+	var rows []Fig13Row
+	workloads := []string{"A", "B", "C", "D", "E", "F"}
+	if len(o.Apps) > 0 && o.Apps[0] == "quick" {
+		workloads = []string{"A", "C"}
+	}
+	for _, net := range o.Nets {
+		for _, wl := range workloads {
+			rows = append(rows, runFig13Cell(net, wl, o))
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Fig 13 — RocksDB normalised weighted latency (co-run / solo)\n")
+		fmt.Fprintf(w, "%-10s %-9s %9s %9s %9s\n", "net", "workload", "base-min", "base-max", "IAT")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-10s %-9s %9.3f %9.3f %9.3f\n", r.Net, r.Workload, r.BaseMin, r.BaseMax, r.IAT)
+		}
+	}
+	return rows
+}
+
+// WeightedLatency computes the op-count-weighted mean latency across op
+// types, normalised per-op against the solo histograms (the paper's
+// "normalized weighted latency", Fig. 13).
+func WeightedLatency(co, solo map[ycsb.Op]*ycsb.Histogram) float64 {
+	var total uint64
+	var acc float64
+	for op, h := range co {
+		sh := solo[op]
+		if sh == nil || sh.Mean() == 0 || h.Count() == 0 {
+			continue
+		}
+		acc += float64(h.Count()) * (h.Mean() / sh.Mean())
+		total += h.Count()
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / float64(total)
+}
+
+func runFig13Cell(net, wl string, o Fig12Opts) Fig13Row {
+	base := AppMixOpts{
+		Scale: o.Scale, Net: net, App: "rocksdb:" + wl,
+		IntervalNS: o.IntervalNS,
+		TargetOps:  o.TargetOps,
+	}
+	soloOpts := base
+	soloOpts.Solo = true
+	solo := RunAppMix(soloOpts)
+
+	row := Fig13Row{Net: net, Workload: wl, BaseMin: 1e18}
+	for _, pl := range o.Corners {
+		opts := base
+		opts.Placement = pl
+		r := RunAppMix(opts)
+		n := WeightedLatency(r.RocksHists, solo.RocksHists)
+		if n < row.BaseMin {
+			row.BaseMin = n
+		}
+		if n > row.BaseMax {
+			row.BaseMax = n
+		}
+	}
+	iatOpts := base
+	iatOpts.Placement = PlacePC
+	iatOpts.IAT = true
+	row.IAT = WeightedLatency(RunAppMix(iatOpts).RocksHists, solo.RocksHists)
+	return row
+}
+
+// Fig14Row is one YCSB workload of Fig. 14: Redis throughput and latency
+// degradation under co-location.
+type Fig14Row struct {
+	Workload string
+	// Normalised to the networking-only solo run (1.0 = no degradation).
+	BaseTputMin, BaseTputMax float64
+	IATTput                  float64
+	BaseAvgMax               float64 // worst normalised mean latency
+	IATAvg                   float64
+	BaseP99Max               float64
+	IATP99                   float64
+}
+
+// RunFig14 reproduces Fig. 14: Redis YCSB results when co-running with the
+// non-networking trio (PC app = the cache-hungry mcf), baseline placement
+// range vs IAT.
+func RunFig14(w io.Writer, o Fig12Opts) []Fig14Row {
+	workloads := []string{"A", "B", "C", "D", "E", "F"}
+	if len(o.Apps) > 0 && o.Apps[0] == "quick" {
+		workloads = []string{"A", "C"}
+	}
+	var rows []Fig14Row
+	for _, wl := range workloads {
+		rows = append(rows, runFig14Cell(wl, o))
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Fig 14 — Redis under co-location (normalised to networking-solo)\n")
+		fmt.Fprintf(w, "%-9s %9s %9s %9s %9s %9s %9s %9s\n",
+			"workload", "tput-min", "tput-max", "IAT-tput", "avg-max", "IAT-avg", "p99-max", "IAT-p99")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-9s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+				r.Workload, r.BaseTputMin, r.BaseTputMax, r.IATTput, r.BaseAvgMax, r.IATAvg, r.BaseP99Max, r.IATP99)
+		}
+	}
+	return rows
+}
+
+func runFig14Cell(wl string, o Fig12Opts) Fig14Row {
+	base := AppMixOpts{
+		Scale: o.Scale, Net: "redis", App: "mcf",
+		RedisWorkload: wl,
+		IntervalNS:    o.IntervalNS,
+		TargetInstr:   1 << 62, // mcf runs for the whole window
+		MaxNS:         3e9,     // fixed window: Redis metrics need equal spans
+	}
+	soloOpts := base
+	soloOpts.NetOnly = true
+	solo := RunAppMix(soloOpts)
+
+	row := Fig14Row{Workload: wl, BaseTputMin: 1e18}
+	// The corners that matter for the networking side: no overlap vs the
+	// cache-hungry X-Mem on the DDIO ways.
+	for _, pl := range []Placement{PlaceNone, PlaceBE10, PlacePC} {
+		opts := base
+		opts.Placement = pl
+		r := RunAppMix(opts)
+		t := normalized(r.RedisOpsPS, solo.RedisOpsPS)
+		if t < row.BaseTputMin {
+			row.BaseTputMin = t
+		}
+		if t > row.BaseTputMax {
+			row.BaseTputMax = t
+		}
+		if a := normalized(r.RedisMeanNS, solo.RedisMeanNS); a > row.BaseAvgMax {
+			row.BaseAvgMax = a
+		}
+		if p := normalized(r.RedisP99NS, solo.RedisP99NS); p > row.BaseP99Max {
+			row.BaseP99Max = p
+		}
+	}
+	iatOpts := base
+	iatOpts.Placement = PlaceBE10 // worst corner for the networking side
+	iatOpts.IAT = true
+	r := RunAppMix(iatOpts)
+	row.IATTput = normalized(r.RedisOpsPS, solo.RedisOpsPS)
+	row.IATAvg = normalized(r.RedisMeanNS, solo.RedisMeanNS)
+	row.IATP99 = normalized(r.RedisP99NS, solo.RedisP99NS)
+	return row
+}

@@ -1,0 +1,114 @@
+// Package exp implements the paper's evaluation: one runner per table and
+// figure (Figs. 3, 4, 8–15; Tables I–II), each rebuilding the corresponding
+// experiment on the simulated platform and emitting the same rows/series
+// the paper reports. cmd/experiments and the repository-root benchmarks are
+// thin wrappers over this package.
+package exp
+
+import (
+	"iatsim/internal/cache"
+	"iatsim/internal/mem"
+	"iatsim/internal/sim"
+)
+
+// Snapshot captures the platform counters at one instant.
+type Snapshot struct {
+	TimeNS float64
+	LLC    cache.SliceStats
+	Mem    mem.Stats
+	Instr  []uint64
+	Cycles []uint64
+	Refs   []uint64
+	Miss   []uint64
+}
+
+// Snap reads a snapshot from p.
+func Snap(p *sim.Platform) Snapshot {
+	n := p.Cfg.Cores
+	s := Snapshot{
+		TimeNS: p.NowNS(),
+		LLC:    p.Hier.LLC().TotalStats(),
+		Mem:    p.Mem.Stats(),
+		Instr:  make([]uint64, n),
+		Cycles: make([]uint64, n),
+		Refs:   make([]uint64, n),
+		Miss:   make([]uint64, n),
+	}
+	for c := 0; c < n; c++ {
+		s.Instr[c] = p.CoreInstr(c)
+		s.Cycles[c] = p.CoreCycles(c)
+		s.Refs[c] = p.Hier.LLC().CoreRefs(c)
+		s.Miss[c] = p.Hier.LLC().CoreMisses(c)
+	}
+	return s
+}
+
+// Window is the difference between two snapshots with rate helpers.
+type Window struct {
+	A, B Snapshot
+}
+
+// Measure runs p for durNS and returns the enclosing window.
+func Measure(p *sim.Platform, durNS float64) Window {
+	a := Snap(p)
+	p.Run(durNS)
+	return Window{A: a, B: Snap(p)}
+}
+
+// Seconds returns the window length in (simulated) seconds.
+func (w Window) Seconds() float64 { return (w.B.TimeNS - w.A.TimeNS) / 1e9 }
+
+// DDIOHitPS returns chip-wide DDIO write updates per second.
+func (w Window) DDIOHitPS() float64 {
+	return float64(w.B.LLC.DDIOHits-w.A.LLC.DDIOHits) / w.Seconds()
+}
+
+// DDIOMissPS returns chip-wide DDIO write allocates per second.
+func (w Window) DDIOMissPS() float64 {
+	return float64(w.B.LLC.DDIOMisses-w.A.LLC.DDIOMisses) / w.Seconds()
+}
+
+// MemGBps returns memory bandwidth consumption in GB/s of simulated time.
+func (w Window) MemGBps() float64 {
+	return float64(w.B.Mem.Total()-w.A.Mem.Total()) / (w.B.TimeNS - w.A.TimeNS)
+}
+
+// IPC returns the aggregate instructions per cycle of the given cores.
+func (w Window) IPC(cores ...int) float64 {
+	var di, dc uint64
+	for _, c := range cores {
+		di += w.B.Instr[c] - w.A.Instr[c]
+		dc += w.B.Cycles[c] - w.A.Cycles[c]
+	}
+	if dc == 0 {
+		return 0
+	}
+	return float64(di) / float64(dc)
+}
+
+// Cycles returns the cycles spent by the given cores in the window.
+func (w Window) Cycles(cores ...int) uint64 {
+	var dc uint64
+	for _, c := range cores {
+		dc += w.B.Cycles[c] - w.A.Cycles[c]
+	}
+	return dc
+}
+
+// LLCMissPS returns the LLC demand misses per second of the given cores.
+func (w Window) LLCMissPS(cores ...int) float64 {
+	var dm uint64
+	for _, c := range cores {
+		dm += w.B.Miss[c] - w.A.Miss[c]
+	}
+	return float64(dm) / w.Seconds()
+}
+
+// LLCRefsPS returns the LLC demand references per second of the given cores.
+func (w Window) LLCRefsPS(cores ...int) float64 {
+	var dr uint64
+	for _, c := range cores {
+		dr += w.B.Refs[c] - w.A.Refs[c]
+	}
+	return float64(dr) / w.Seconds()
+}

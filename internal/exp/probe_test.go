@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"testing"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/sim"
+)
+
+// spin burns all budget at the base CPI.
+type spin struct{}
+
+func (spin) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		ctx.Compute(1000)
+	}
+}
+
+func probePlatform(t *testing.T) *sim.Platform {
+	t.Helper()
+	cfg := sim.XeonGold6140(100)
+	cfg.Cores = 2
+	cfg.Hier = cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitCycles: 4},
+		L2:    cache.LevelConfig{SizeBytes: 32 << 10, Ways: 8, HitCycles: 14},
+		LLC:   cache.LLCConfig{Slices: 2, Ways: 8, SetsPerSlice: 64, HitCycles: 44},
+	}
+	p := sim.NewPlatform(cfg)
+	if err := p.AddTenant(&sim.Tenant{Name: "s", Cores: []int{0}, CLOS: 1, Workers: []sim.Worker{spin{}}}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWindowSecondsAndIPC(t *testing.T) {
+	p := probePlatform(t)
+	win := Measure(p, 10e6)
+	if s := win.Seconds(); s < 0.0099 || s > 0.0101 {
+		t.Fatalf("window seconds = %v", s)
+	}
+	// Compute-only spinner at BaseCPI 0.5: IPC ~2.
+	if ipc := win.IPC(0); ipc < 1.9 || ipc > 2.1 {
+		t.Fatalf("IPC = %v", ipc)
+	}
+	if win.Cycles(0) == 0 {
+		t.Fatal("no cycles measured")
+	}
+	// The idle core contributes nothing.
+	if win.IPC(1) != 0 || win.Cycles(1) != 0 {
+		t.Fatal("idle core shows activity")
+	}
+}
+
+func TestWindowRatesStartAtZero(t *testing.T) {
+	p := probePlatform(t)
+	win := Measure(p, 5e6)
+	if win.DDIOHitPS() != 0 || win.DDIOMissPS() != 0 {
+		t.Fatal("no-I/O platform shows DDIO activity")
+	}
+	if win.LLCRefsPS(0) != 0 || win.LLCMissPS(0) != 0 {
+		t.Fatal("compute-only spinner shows LLC traffic")
+	}
+	if win.MemGBps() < 0 {
+		t.Fatal("negative bandwidth")
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	p := probePlatform(t)
+	a := Snap(p)
+	p.Run(2e6)
+	b := Snap(p)
+	if b.TimeNS <= a.TimeNS {
+		t.Fatal("time did not advance")
+	}
+	if b.Instr[0] <= a.Instr[0] {
+		t.Fatal("instructions did not advance")
+	}
+	if len(a.Instr) != p.Cfg.Cores || len(a.Refs) != p.Cfg.Cores {
+		t.Fatal("snapshot core arrays sized wrong")
+	}
+}

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"iatsim/internal/core"
+	"iatsim/internal/sim"
+)
+
+// PrintTable1 prints Table I: the simulated CPU configuration.
+func PrintTable1(w io.Writer) {
+	cfg := sim.XeonGold6140(1)
+	h := cfg.Hier
+	fmt.Fprintf(w, "Table I — simulated Intel Xeon Gold 6140 configuration\n")
+	fmt.Fprintf(w, "  Cores   %d cores, %.1fGHz\n", cfg.Cores, cfg.FreqGHz)
+	fmt.Fprintf(w, "  Caches  %d-way %dKB L1D (%d cy)\n", h.L1.Ways, h.L1.SizeBytes>>10, h.L1.HitCycles)
+	fmt.Fprintf(w, "          %d-way %dMB L2 (%d cy)\n", h.L2.Ways, h.L2.SizeBytes>>20, h.L2.HitCycles)
+	fmt.Fprintf(w, "          %d-way %.2fMB non-inclusive shared LLC (%d slices, %d cy)\n",
+		h.LLC.Ways, float64(h.LLC.SizeBytes())/(1<<20), h.LLC.Slices, h.LLC.HitCycles)
+	fmt.Fprintf(w, "  Memory  %.0f GB/s aggregate (six DDR4-2666 channels), %.0fns unloaded\n",
+		cfg.Mem.BandwidthGBps, cfg.Mem.BaseLatencyNS)
+}
+
+// PrintTable2 prints Table II: the IAT parameters.
+func PrintTable2(w io.Writer) {
+	p := core.DefaultParams()
+	fmt.Fprintf(w, "Table II — IAT parameters\n")
+	fmt.Fprintf(w, "  THRESHOLD_STABLE    %.0f%%\n", p.ThresholdStable*100)
+	fmt.Fprintf(w, "  THRESHOLD_MISS_LOW  %.0fM/s\n", p.ThresholdMissLowPerSec/1e6)
+	fmt.Fprintf(w, "  DDIO_WAYS_MIN/MAX   %d/%d\n", p.DDIOWaysMin, p.DDIOWaysMax)
+	fmt.Fprintf(w, "  Sleep interval      %.0fs\n", p.IntervalNS/1e9)
+}

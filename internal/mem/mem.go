@@ -1,0 +1,146 @@
+// Package mem models the DRAM subsystem of the simulated server: a memory
+// controller with a fixed service latency, a finite channel bandwidth, and a
+// utilisation-dependent queueing delay.
+//
+// The model is deliberately simple — the paper's phenomena are last-level
+// cache effects, and memory matters only as (a) the latency penalty an LLC
+// miss pays and (b) the bandwidth consumed by DDIO write-allocate evictions
+// and demand misses (Fig. 8c of the paper reports exactly this number).
+package mem
+
+import "fmt"
+
+// Config describes the memory subsystem. XeonGold6140 in package sim supplies
+// the values for the paper's testbed (six DDR4-2666 channels).
+type Config struct {
+	// BaseLatencyNS is the unloaded read latency in nanoseconds.
+	BaseLatencyNS float64
+	// WriteLatencyNS is the unloaded write latency (posted writes are
+	// cheaper than reads on the critical path).
+	WriteLatencyNS float64
+	// BandwidthGBps is the aggregate channel bandwidth in GB/s.
+	BandwidthGBps float64
+	// MaxUtil caps the utilisation used by the queueing model so latency
+	// stays finite when an epoch oversubscribes the channels.
+	MaxUtil float64
+}
+
+// DefaultConfig returns a six-channel DDR4-2666 configuration matching
+// Table I of the paper (6 x 21.3 GB/s ~ 128 GB/s, ~90ns loaded-miss latency).
+func DefaultConfig() Config {
+	return Config{
+		BaseLatencyNS:  90,
+		WriteLatencyNS: 60,
+		BandwidthGBps:  128,
+		MaxUtil:        0.95,
+	}
+}
+
+// Stats is a snapshot of the controller's cumulative traffic counters.
+type Stats struct {
+	BytesRead    uint64 // total bytes read from DRAM
+	BytesWritten uint64 // total bytes written to DRAM
+	Reads        uint64 // read transactions
+	Writes       uint64 // write transactions
+}
+
+// Total returns read plus write bytes.
+func (s Stats) Total() uint64 { return s.BytesRead + s.BytesWritten }
+
+// Sub returns the delta s - o, counter by counter.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		Reads:        s.Reads - o.Reads,
+		Writes:       s.Writes - o.Writes,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("mem{rd=%dB wr=%dB}", s.BytesRead, s.BytesWritten)
+}
+
+// Controller is the memory controller model. It is not safe for concurrent
+// use; the simulation engine drives it from a single goroutine.
+type Controller struct {
+	cfg   Config
+	stats Stats
+
+	// epoch window for the utilisation estimate
+	epochBytes float64
+	epochCapB  float64 // bytes the channels can move in the current epoch
+}
+
+// NewController builds a controller from cfg, filling zero fields with
+// defaults.
+func NewController(cfg Config) *Controller {
+	def := DefaultConfig()
+	if cfg.BaseLatencyNS == 0 {
+		cfg.BaseLatencyNS = def.BaseLatencyNS
+	}
+	if cfg.WriteLatencyNS == 0 {
+		cfg.WriteLatencyNS = def.WriteLatencyNS
+	}
+	if cfg.BandwidthGBps == 0 {
+		cfg.BandwidthGBps = def.BandwidthGBps
+	}
+	if cfg.MaxUtil == 0 {
+		cfg.MaxUtil = def.MaxUtil
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// BeginEpoch resets the utilisation window. durNS is the simulated length of
+// the upcoming epoch; the bandwidth cap for the window is derived from it.
+func (c *Controller) BeginEpoch(durNS float64) {
+	c.epochBytes = 0
+	c.epochCapB = c.cfg.BandwidthGBps * durNS // GB/s * ns == bytes
+}
+
+// Utilisation returns the fraction of the current epoch's bandwidth already
+// consumed, clamped to [0, MaxUtil].
+func (c *Controller) Utilisation() float64 {
+	if c.epochCapB <= 0 {
+		return 0
+	}
+	u := c.epochBytes / c.epochCapB
+	if u > c.cfg.MaxUtil {
+		u = c.cfg.MaxUtil
+	}
+	return u
+}
+
+// queue returns the queueing-delay multiplier for the current utilisation:
+// an M/D/1-flavoured u/(2(1-u)) term that is ~0 when idle and grows steeply
+// as the channels saturate.
+func (c *Controller) queue() float64 {
+	u := c.Utilisation()
+	return u / (2 * (1 - u))
+}
+
+// Read records a DRAM read of n bytes and returns its latency in
+// nanoseconds.
+func (c *Controller) Read(n int) float64 {
+	c.stats.BytesRead += uint64(n)
+	c.stats.Reads++
+	c.epochBytes += float64(n)
+	return c.cfg.BaseLatencyNS * (1 + c.queue())
+}
+
+// Write records a DRAM write of n bytes and returns its latency in
+// nanoseconds. Writes are posted: callers on the eviction path typically
+// ignore the returned latency.
+func (c *Controller) Write(n int) float64 {
+	c.stats.BytesWritten += uint64(n)
+	c.stats.Writes++
+	c.epochBytes += float64(n)
+	return c.cfg.WriteLatencyNS * (1 + c.queue())
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Controller) Stats() Stats { return c.stats }

@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsFilled(t *testing.T) {
+	c := NewController(Config{})
+	cfg := c.Config()
+	if cfg.BaseLatencyNS == 0 || cfg.BandwidthGBps == 0 || cfg.MaxUtil == 0 || cfg.WriteLatencyNS == 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	c := NewController(Config{})
+	c.BeginEpoch(1e6)
+	c.Read(64)
+	c.Read(64)
+	c.Write(64)
+	s := c.Stats()
+	if s.BytesRead != 128 || s.BytesWritten != 64 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Total() != 192 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{BytesRead: 100, BytesWritten: 40, Reads: 3, Writes: 2}
+	b := Stats{BytesRead: 60, BytesWritten: 10, Reads: 1, Writes: 1}
+	d := a.Sub(b)
+	if d.BytesRead != 40 || d.BytesWritten != 30 || d.Reads != 2 || d.Writes != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	c := NewController(Config{BaseLatencyNS: 90, BandwidthGBps: 128})
+	c.BeginEpoch(1e9)
+	if lat := c.Read(64); lat < 90 || lat > 95 {
+		t.Fatalf("unloaded read latency = %.1f", lat)
+	}
+}
+
+func TestLatencyGrowsWithUtilisation(t *testing.T) {
+	c := NewController(Config{BaseLatencyNS: 90, BandwidthGBps: 1}) // tiny bandwidth
+	c.BeginEpoch(1e6)                                               // cap = 1e6 bytes
+	first := c.Read(64)
+	// Consume most of the epoch's bandwidth.
+	for i := 0; i < 14000; i++ {
+		c.Read(64)
+	}
+	last := c.Read(64)
+	if last <= first {
+		t.Fatalf("latency did not grow with utilisation: %.1f -> %.1f", first, last)
+	}
+}
+
+func TestUtilisationClamped(t *testing.T) {
+	c := NewController(Config{BandwidthGBps: 1, MaxUtil: 0.9})
+	c.BeginEpoch(100) // 100 bytes cap
+	for i := 0; i < 100; i++ {
+		c.Write(64)
+	}
+	if u := c.Utilisation(); u > 0.9 {
+		t.Fatalf("utilisation %.2f above clamp", u)
+	}
+}
+
+func TestBeginEpochResetsWindow(t *testing.T) {
+	c := NewController(Config{BandwidthGBps: 1})
+	c.BeginEpoch(1e3)
+	for i := 0; i < 100; i++ {
+		c.Read(64)
+	}
+	high := c.Utilisation()
+	c.BeginEpoch(1e3)
+	if c.Utilisation() >= high {
+		t.Fatal("BeginEpoch did not reset utilisation")
+	}
+}
+
+// Property: latency is finite and at least the base latency for any
+// utilisation.
+func TestLatencyBoundsProperty(t *testing.T) {
+	f := func(reads uint16) bool {
+		c := NewController(Config{BaseLatencyNS: 90})
+		c.BeginEpoch(1e6)
+		var lat float64
+		for i := 0; i < int(reads%2000); i++ {
+			lat = c.Read(64)
+			if lat < 90 || lat > 90*100 {
+				return false
+			}
+		}
+		_ = lat
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

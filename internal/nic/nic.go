@@ -1,0 +1,412 @@
+// Package nic models the network interface cards of the platform: SR-IOV
+// virtual functions, descriptor rings, DPDK-style buffer pools, and the DMA
+// datapath that moves packets through the DDIO engine.
+//
+// The model is line-granular and zero-copy, like the DPDK applications in
+// the paper: an inbound packet is DMA'd once into a pool buffer (through
+// DDIO), the consuming core reads whatever part of it the application needs,
+// and transmission hands the same buffer back to the device, which reads it
+// out of the LLC (or memory, if it leaked — the Leaky DMA problem) and
+// returns the buffer to the pool.
+package nic
+
+import (
+	"fmt"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/ddio"
+	"iatsim/internal/pkt"
+)
+
+// BufSize is the size of one pool buffer: 2KB holds an MTU frame, matching
+// DPDK's default mbuf data room.
+const BufSize = 2048
+
+// Entry is one occupied ring slot: the packet metadata plus the address of
+// the pool buffer holding its payload.
+type Entry struct {
+	Pkt pkt.Packet
+	Buf uint64
+}
+
+// Ring is a single-producer single-consumer descriptor ring. Descriptors
+// live in simulated memory (one line each, as 4 hardware descriptors of 16B
+// share a line but DPDK touches them line by line); the stored Go values
+// carry the metadata.
+type Ring struct {
+	entries int
+	desc    addr.Region
+	slots   []Entry
+	head    uint64 // producer count
+	tail    uint64 // consumer count
+}
+
+// NewRing allocates a ring of n entries with descriptor lines from al.
+func NewRing(n int, al *addr.Allocator) *Ring {
+	if n <= 0 {
+		panic(fmt.Sprintf("nic: ring size %d", n))
+	}
+	return &Ring{
+		entries: n,
+		desc:    al.Alloc(uint64(n)*addr.LineSize, 0),
+		slots:   make([]Entry, n),
+	}
+}
+
+// Entries returns the ring capacity.
+func (r *Ring) Entries() int { return r.entries }
+
+// Len returns the number of occupied slots.
+func (r *Ring) Len() int { return int(r.head - r.tail) }
+
+// Full reports whether the ring has no free slot.
+func (r *Ring) Full() bool { return r.Len() >= r.entries }
+
+// Empty reports whether the ring has no occupied slot.
+func (r *Ring) Empty() bool { return r.head == r.tail }
+
+// DescAddr returns the descriptor line address of slot i.
+func (r *Ring) DescAddr(i int) uint64 { return r.desc.Line(i) }
+
+// Push enqueues e, returning the slot index, or -1 if the ring is full.
+func (r *Ring) Push(e Entry) int {
+	if r.Full() {
+		return -1
+	}
+	i := int(r.head % uint64(r.entries))
+	r.slots[i] = e
+	r.head++
+	return i
+}
+
+// Peek returns the slot index and entry at the consumer side without
+// consuming it; ok is false when the ring is empty.
+func (r *Ring) Peek() (i int, e Entry, ok bool) {
+	if r.Empty() {
+		return 0, Entry{}, false
+	}
+	i = int(r.tail % uint64(r.entries))
+	return i, r.slots[i], true
+}
+
+// Pop consumes the entry at the consumer side; ok is false when empty.
+func (r *Ring) Pop() (i int, e Entry, ok bool) {
+	i, e, ok = r.Peek()
+	if ok {
+		r.tail++
+	}
+	return
+}
+
+// Pool is a DPDK-style packet buffer pool. Buffers are fixed-size regions of
+// simulated memory handed to the Rx DMA engine and returned after Tx.
+type Pool struct {
+	region addr.Region
+	free   []uint64
+	size   int
+}
+
+// NewPool allocates n buffers of BufSize bytes from al.
+func NewPool(n int, al *addr.Allocator) *Pool {
+	p := &Pool{
+		region: al.Alloc(uint64(n)*BufSize, 0),
+		free:   make([]uint64, 0, n),
+		size:   n,
+	}
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, p.region.Base+uint64(i)*BufSize)
+	}
+	return p
+}
+
+// Size returns the pool capacity in buffers.
+func (p *Pool) Size() int { return p.size }
+
+// Avail returns the number of free buffers.
+func (p *Pool) Avail() int { return len(p.free) }
+
+// Get pops a free buffer address; ok is false when the pool is exhausted.
+func (p *Pool) Get() (buf uint64, ok bool) {
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	buf = p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return buf, true
+}
+
+// Put returns a buffer to the pool.
+func (p *Pool) Put(buf uint64) { p.free = append(p.free, buf) }
+
+// VFStats counts per-virtual-function activity.
+type VFStats struct {
+	RxPackets uint64
+	RxBytes   uint64
+	RxDrops   uint64 // ring full or pool empty at arrival
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+// VF is one SR-IOV virtual function (or, for the aggregation model, the
+// physical function's queue pair the software switch polls).
+//
+// The Rx ring is fully pre-posted, as on real NICs: every descriptor slot
+// holds a distinct pool buffer waiting for DMA, so inbound packets cycle
+// through ring-entries distinct buffers in ring order regardless of load.
+// This is the mechanism behind the Leaky DMA problem — the inbound DDIO
+// footprint is (ring entries x packet size), which is why ResQ's remedy is
+// shrinking the ring (Sec. III-A).
+type VF struct {
+	Name string
+	// ConsumerCore is the core that polls this VF's Rx ring; the DMA
+	// engine invalidates its private caches when overwriting buffers.
+	ConsumerCore int
+	// VLAN tags traffic steered to this VF in the slicing model.
+	VLAN uint16
+
+	Rx   *Ring
+	Tx   *Ring
+	Pool *Pool
+
+	// posted[i] is the buffer pre-posted to Rx slot i; postedOK[i] is
+	// false between the slot's consumption and its replenishment.
+	posted   []uint64
+	postedOK []bool
+
+	Stats VFStats
+}
+
+// ReplenishRx posts a fresh pool buffer to Rx slot i (the driver work a
+// consumer performs after taking a filled buffer). It returns false when
+// the pool is exhausted; the slot then stays unposted and arrivals mapping
+// to it are dropped until a later replenish succeeds.
+func (vf *VF) ReplenishRx(i int) bool {
+	buf, ok := vf.Pool.Get()
+	vf.posted[i] = buf
+	vf.postedOK[i] = ok
+	return ok
+}
+
+// Config shapes a device.
+type Config struct {
+	Name      string
+	RxEntries int // per-VF Rx ring entries (the paper's default is 1024)
+	TxEntries int // per-VF Tx ring entries
+	VFs       int // number of virtual functions
+	// WireGbps is the port speed used to pace transmit draining (40 for
+	// the paper's XL710s).
+	WireGbps float64
+}
+
+// Device is one physical NIC.
+type Device struct {
+	cfg   Config
+	eng   *ddio.Engine
+	port  *ddio.Port // optional per-device DDIO policy (Sec. VII extension)
+	vfs   []*VF
+	txAcc float64 // fractional byte budget carried between drain calls
+
+	// OnTx, when set, is invoked for every packet that leaves on the
+	// wire — closed-loop traffic generators use it to recover credits.
+	OnTx func(vf int, e Entry)
+}
+
+// SetDDIOPort attaches a per-device DDIO policy (device-aware way mask
+// and/or application-aware header-only placement). Passing nil restores the
+// stock global-register behaviour.
+func (d *Device) SetDDIOPort(p *ddio.Port) { d.port = p }
+
+// dmaWrite routes an inbound DMA through the device's policy.
+func (d *Device) dmaWrite(a uint64, n, consumer int) {
+	if d.port != nil {
+		d.port.Write(a, n, consumer)
+		return
+	}
+	d.eng.DeviceWrite(a, n, consumer)
+}
+
+// dmaRead routes an outbound DMA through the device's policy.
+func (d *Device) dmaRead(a uint64, n int) {
+	if d.port != nil {
+		d.port.Read(a, n)
+		return
+	}
+	d.eng.DeviceRead(a, n)
+}
+
+// NewDevice builds a NIC with cfg.VFs virtual functions, allocating rings
+// and pools from al and moving data through eng.
+func NewDevice(cfg Config, eng *ddio.Engine, al *addr.Allocator) *Device {
+	if cfg.RxEntries == 0 {
+		cfg.RxEntries = 1024
+	}
+	if cfg.TxEntries == 0 {
+		cfg.TxEntries = cfg.RxEntries
+	}
+	if cfg.VFs == 0 {
+		cfg.VFs = 1
+	}
+	if cfg.WireGbps == 0 {
+		cfg.WireGbps = 40
+	}
+	d := &Device{cfg: cfg, eng: eng}
+	for i := 0; i < cfg.VFs; i++ {
+		vf := &VF{
+			Name:         fmt.Sprintf("%s.vf%d", cfg.Name, i),
+			ConsumerCore: -1,
+			Rx:           NewRing(cfg.RxEntries, al),
+			Tx:           NewRing(cfg.TxEntries, al),
+			Pool:         NewPool(cfg.RxEntries+cfg.TxEntries, al),
+			posted:       make([]uint64, cfg.RxEntries),
+			postedOK:     make([]bool, cfg.RxEntries),
+		}
+		for s := 0; s < cfg.RxEntries; s++ {
+			vf.ReplenishRx(s)
+		}
+		d.vfs = append(d.vfs, vf)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// VF returns virtual function i.
+func (d *Device) VF(i int) *VF { return d.vfs[i] }
+
+// NumVFs returns the virtual function count.
+func (d *Device) NumVFs() int { return len(d.vfs) }
+
+// DeliverRx attempts to DMA an arriving packet into VF i's Rx ring at
+// simulated time nowNS. On success the descriptor line and the payload
+// lines are written through DDIO; on ring-full or pool-empty the packet is
+// dropped and counted.
+func (d *Device) DeliverRx(i int, p pkt.Packet, nowNS float64) bool {
+	vf := d.vfs[i]
+	if vf.Rx.Full() {
+		vf.Stats.RxDrops++
+		return false
+	}
+	slot := int(vf.Rx.head % uint64(vf.Rx.entries))
+	if !vf.postedOK[slot] {
+		// No buffer posted (pool exhausted at replenish time).
+		vf.Stats.RxDrops++
+		return false
+	}
+	buf := vf.posted[slot]
+	vf.postedOK[slot] = false
+	p.ArrivalNS = nowNS
+	vf.Rx.Push(Entry{Pkt: p, Buf: buf})
+	// Payload first, then the descriptor (the doorbell ordering).
+	d.dmaWrite(buf, p.Size, vf.ConsumerCore)
+	d.dmaWrite(vf.Rx.DescAddr(slot), addr.LineSize, vf.ConsumerCore)
+	vf.Stats.RxPackets++
+	vf.Stats.RxBytes += uint64(p.Size)
+	return true
+}
+
+// DrainTx transmits from VF i's Tx ring, paced by the wire: at most
+// dtNS worth of line-rate bytes leave per call (plus any fractional budget
+// carried over). Transmitted buffers return to the pool.
+func (d *Device) DrainTx(i int, dtNS float64) int {
+	vf := d.vfs[i]
+	// Per-VF pacing: the VFs share the port; give each an equal share.
+	d.txAcc += d.cfg.WireGbps / 8 * dtNS / float64(len(d.vfs)) // GB/s * ns = bytes
+	sent := 0
+	for !vf.Tx.Empty() {
+		_, e, _ := vf.Tx.Peek()
+		if float64(e.Pkt.Size) > d.txAcc {
+			break
+		}
+		slot, _, _ := vf.Tx.Pop()
+		d.txAcc -= float64(e.Pkt.Size)
+		d.dmaRead(vf.Tx.DescAddr(slot), addr.LineSize)
+		d.dmaRead(e.Buf, e.Pkt.Size)
+		vf.Pool.Put(e.Buf)
+		vf.Stats.TxPackets++
+		vf.Stats.TxBytes += uint64(e.Pkt.Size)
+		sent++
+		if d.OnTx != nil {
+			d.OnTx(i, e)
+		}
+	}
+	return sent
+}
+
+// VirtioPort is the virtio-style interface connecting a tenant to the
+// aggregation model's software stack (Sec. II-C, Fig. 2a): a Down ring
+// (switch to tenant), an Up ring (tenant to switch), and a buffer pool
+// shared by both directions so a bouncing tenant (testpmd) can forward
+// zero-copy while the switch pays the vhost enqueue/dequeue copies.
+//
+// All data movement through a VirtioPort is performed by CPU cores (the
+// switch's or the tenant's); this package only provides the structure and
+// buffer addresses — workloads issue the cache accesses.
+type VirtioPort struct {
+	Name string
+	Down *Ring
+	Up   *Ring
+	Pool *Pool
+	// DownDrops / UpDrops count enqueue failures in each direction.
+	DownDrops uint64
+	UpDrops   uint64
+}
+
+// NewVirtioPort builds a port with n-entry rings and a 2n-buffer pool.
+func NewVirtioPort(name string, n int, al *addr.Allocator) *VirtioPort {
+	return &VirtioPort{
+		Name: name,
+		Down: NewRing(n, al),
+		Up:   NewRing(n, al),
+		Pool: NewPool(2*n, al),
+	}
+}
+
+// PushDown reserves a buffer and enqueues packet p toward the tenant,
+// returning the slot and buffer the producer must copy the payload into.
+// ok is false (and the drop counted) when the port is saturated.
+func (v *VirtioPort) PushDown(p pkt.Packet) (slot int, buf uint64, ok bool) {
+	if v.Down.Full() {
+		v.DownDrops++
+		return 0, 0, false
+	}
+	buf, ok = v.Pool.Get()
+	if !ok {
+		v.DownDrops++
+		return 0, 0, false
+	}
+	slot = v.Down.Push(Entry{Pkt: p, Buf: buf})
+	return slot, buf, true
+}
+
+// PushUp enqueues an entry toward the switch. The entry's buffer must
+// belong to this port's pool (either taken from it via GetBuf or received
+// on the Down ring for a zero-copy bounce). ok is false (and the drop
+// counted, with the buffer reclaimed) on overflow.
+func (v *VirtioPort) PushUp(e Entry) (slot int, ok bool) {
+	slot = v.Up.Push(e)
+	if slot < 0 {
+		v.UpDrops++
+		v.Pool.Put(e.Buf)
+		return -1, false
+	}
+	return slot, true
+}
+
+// GetBuf takes a fresh buffer from the port pool (e.g. for a KVS response).
+func (v *VirtioPort) GetBuf() (uint64, bool) { return v.Pool.Get() }
+
+// Release returns a buffer to the port pool.
+func (v *VirtioPort) Release(buf uint64) { v.Pool.Put(buf) }
+
+// PostedCount returns how many Rx slots currently hold a posted buffer
+// (diagnostics and tests).
+func (vf *VF) PostedCount() int {
+	n := 0
+	for _, ok := range vf.postedOK {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,291 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/cache"
+	"iatsim/internal/ddio"
+	"iatsim/internal/mem"
+	"iatsim/internal/msr"
+	"iatsim/internal/pkt"
+)
+
+func newEngine() (*ddio.Engine, *addr.Allocator) {
+	mc := mem.NewController(mem.Config{})
+	mc.BeginEpoch(1e9)
+	h := cache.NewHierarchy(cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitCycles: 4},
+		L2:    cache.LevelConfig{SizeBytes: 32 << 10, Ways: 8, HitCycles: 14},
+		LLC:   cache.LLCConfig{Slices: 2, Ways: 8, SetsPerSlice: 256, HitCycles: 44},
+	}, 2.3, mc)
+	return ddio.New(msr.NewFile(), h, mc), addr.NewAllocator(1 << 30)
+}
+
+func TestRingPushPop(t *testing.T) {
+	al := addr.NewAllocator(0)
+	r := NewRing(4, al)
+	if !r.Empty() || r.Full() {
+		t.Fatal("fresh ring state wrong")
+	}
+	for i := 0; i < 4; i++ {
+		if slot := r.Push(Entry{Buf: uint64(i)}); slot != i {
+			t.Fatalf("push %d landed in slot %d", i, slot)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	if r.Push(Entry{}) != -1 {
+		t.Fatal("push into a full ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		slot, e, ok := r.Pop()
+		if !ok || slot != i || e.Buf != uint64(i) {
+			t.Fatalf("pop %d: slot=%d buf=%d ok=%v", i, slot, e.Buf, ok)
+		}
+	}
+	if _, _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingDescAddrsDistinct(t *testing.T) {
+	al := addr.NewAllocator(0)
+	r := NewRing(8, al)
+	seen := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		a := r.DescAddr(i)
+		if seen[a] {
+			t.Fatalf("descriptor address %#x repeated", a)
+		}
+		seen[a] = true
+	}
+}
+
+// Property: ring length equals pushes minus pops for any interleaving.
+func TestRingLenProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		al := addr.NewAllocator(0)
+		r := NewRing(8, al)
+		pushed, popped := 0, 0
+		for _, push := range ops {
+			if push {
+				if r.Push(Entry{}) >= 0 {
+					pushed++
+				}
+			} else {
+				if _, _, ok := r.Pop(); ok {
+					popped++
+				}
+			}
+			if r.Len() != pushed-popped {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolGetPutBalance(t *testing.T) {
+	al := addr.NewAllocator(0)
+	p := NewPool(4, al)
+	if p.Avail() != 4 || p.Size() != 4 {
+		t.Fatalf("fresh pool avail=%d size=%d", p.Avail(), p.Size())
+	}
+	bufs := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		b, ok := p.Get()
+		if !ok {
+			t.Fatal("pool exhausted early")
+		}
+		if bufs[b] {
+			t.Fatalf("buffer %#x handed out twice", b)
+		}
+		bufs[b] = true
+	}
+	if _, ok := p.Get(); ok {
+		t.Fatal("empty pool returned a buffer")
+	}
+	for b := range bufs {
+		p.Put(b)
+	}
+	if p.Avail() != 4 {
+		t.Fatalf("avail after refill = %d", p.Avail())
+	}
+}
+
+func TestPoolBuffersDisjoint(t *testing.T) {
+	al := addr.NewAllocator(0)
+	p := NewPool(8, al)
+	var prev uint64
+	for i := 0; i < 8; i++ {
+		b, _ := p.Get()
+		if i > 0 {
+			d := b - prev
+			if d != BufSize && prev-b != BufSize {
+				t.Fatalf("buffers not BufSize apart: %#x vs %#x", prev, b)
+			}
+		}
+		prev = b
+	}
+}
+
+func TestDeviceDeliverAndDrain(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "n", RxEntries: 8, VFs: 1, WireGbps: 40}, eng, al)
+	vf := d.VF(0)
+	p := pkt.Packet{Size: 128, Flow: pkt.Flow{Src: 1}}
+	if !d.DeliverRx(0, p, 100) {
+		t.Fatal("delivery failed")
+	}
+	if vf.Rx.Len() != 1 || vf.Stats.RxPackets != 1 {
+		t.Fatalf("rx state: len=%d stats=%+v", vf.Rx.Len(), vf.Stats)
+	}
+	slot, e, _ := vf.Rx.Pop()
+	if e.Pkt.ArrivalNS != 100 {
+		t.Fatalf("arrival stamp = %v", e.Pkt.ArrivalNS)
+	}
+	vf.ReplenishRx(slot)
+	vf.Tx.Push(e)
+	if sent := d.DrainTx(0, 1e6); sent != 1 {
+		t.Fatalf("drained %d packets", sent)
+	}
+	if vf.Stats.TxPackets != 1 || vf.Pool.Avail() == 0 {
+		t.Fatalf("tx stats=%+v avail=%d", vf.Stats, vf.Pool.Avail())
+	}
+}
+
+func TestDeliverDropsWhenRingFull(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "n", RxEntries: 2, VFs: 1}, eng, al)
+	p := pkt.Packet{Size: 64}
+	d.DeliverRx(0, p, 0)
+	d.DeliverRx(0, p, 0)
+	if d.DeliverRx(0, p, 0) {
+		t.Fatal("delivery into a full ring succeeded")
+	}
+	if d.VF(0).Stats.RxDrops != 1 {
+		t.Fatalf("drops = %d", d.VF(0).Stats.RxDrops)
+	}
+}
+
+func TestDeliverDropsWhenSlotUnposted(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "n", RxEntries: 2, VFs: 1}, eng, al)
+	vf := d.VF(0)
+	p := pkt.Packet{Size: 64}
+	d.DeliverRx(0, p, 0)
+	vf.Rx.Pop() // consume without replenishing: slot 0 stays unposted
+	d.DeliverRx(0, p, 0)
+	// The producer wraps to slot 0, which has no buffer.
+	if d.DeliverRx(0, p, 0) {
+		t.Fatal("delivery into an unposted slot succeeded")
+	}
+	if vf.Stats.RxDrops != 1 {
+		t.Fatalf("drops = %d", vf.Stats.RxDrops)
+	}
+}
+
+func TestRxRotatesThroughDistinctBuffers(t *testing.T) {
+	// The pre-posted ring must cycle through ring-entries distinct
+	// buffers even under light load — the Leaky DMA footprint property.
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "n", RxEntries: 8, VFs: 1}, eng, al)
+	vf := d.VF(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		d.DeliverRx(0, pkt.Packet{Size: 64}, 0)
+		slot, e, _ := vf.Rx.Pop()
+		seen[e.Buf] = true
+		vf.ReplenishRx(slot)
+		vf.Pool.Put(e.Buf)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d distinct buffers over one ring rotation", len(seen))
+	}
+}
+
+func TestDrainTxIsWirePaced(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "n", RxEntries: 64, VFs: 1, WireGbps: 40}, eng, al)
+	vf := d.VF(0)
+	for i := 0; i < 32; i++ {
+		buf, _ := vf.Pool.Get()
+		vf.Tx.Push(Entry{Pkt: pkt.Packet{Size: 1500}, Buf: buf})
+	}
+	// 1µs at 40Gbps is 5000 bytes: at most 3 MTU packets.
+	if sent := d.DrainTx(0, 1000); sent > 3 {
+		t.Fatalf("drained %d MTU packets in 1us at 40Gbps", sent)
+	}
+}
+
+func TestVirtioPortFlow(t *testing.T) {
+	al := addr.NewAllocator(0)
+	vp := NewVirtioPort("p", 4, al)
+	slot, buf, ok := vp.PushDown(pkt.Packet{Size: 256})
+	if !ok || buf == 0 {
+		t.Fatal("PushDown failed")
+	}
+	_ = slot
+	dslot, e, ok := vp.Down.Pop()
+	if !ok || e.Buf != buf {
+		t.Fatalf("Down pop: slot=%d ok=%v", dslot, ok)
+	}
+	// Zero-copy bounce to the Up ring.
+	if _, ok := vp.PushUp(e); !ok {
+		t.Fatal("PushUp failed")
+	}
+	_, e2, ok := vp.Up.Pop()
+	if !ok || e2.Buf != buf {
+		t.Fatal("Up pop lost the buffer")
+	}
+	vp.Release(e2.Buf)
+	if vp.Pool.Avail() != vp.Pool.Size() {
+		t.Fatalf("pool leaked: %d/%d", vp.Pool.Avail(), vp.Pool.Size())
+	}
+}
+
+func TestVirtioPortDropAccounting(t *testing.T) {
+	al := addr.NewAllocator(0)
+	vp := NewVirtioPort("p", 2, al)
+	vp.PushDown(pkt.Packet{Size: 64})
+	vp.PushDown(pkt.Packet{Size: 64})
+	if _, _, ok := vp.PushDown(pkt.Packet{Size: 64}); ok {
+		t.Fatal("PushDown into a full ring succeeded")
+	}
+	if vp.DownDrops != 1 {
+		t.Fatalf("down drops = %d", vp.DownDrops)
+	}
+	// Up overflow reclaims the buffer.
+	before := vp.Pool.Avail()
+	buf, _ := vp.GetBuf()
+	vp.Up.Push(Entry{})
+	vp.Up.Push(Entry{})
+	if _, ok := vp.PushUp(Entry{Buf: buf}); ok {
+		t.Fatal("PushUp into a full ring succeeded")
+	}
+	if vp.UpDrops != 1 || vp.Pool.Avail() != before {
+		t.Fatalf("up drops = %d, avail = %d (want buffer reclaimed)", vp.UpDrops, vp.Pool.Avail())
+	}
+}
+
+func TestDeviceConfigDefaults(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "n"}, eng, al)
+	cfg := d.Config()
+	if cfg.RxEntries != 1024 || cfg.TxEntries != 1024 || cfg.VFs != 1 || cfg.WireGbps != 40 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if d.NumVFs() != 1 {
+		t.Fatalf("vfs = %d", d.NumVFs())
+	}
+	if d.VF(0).PostedCount() != 1024 {
+		t.Fatalf("posted = %d", d.VF(0).PostedCount())
+	}
+}

@@ -1,0 +1,222 @@
+// Package nvme models an NVMe SSD — the second high-bandwidth DDIO consumer
+// the paper's introduction names alongside 100Gb NICs ("NVMe-based storage
+// device"). The device exposes submission/completion queue pairs; completed
+// READ commands DMA their data into host buffers through the DDIO engine,
+// exactly like inbound packets, so large-block storage traffic exerts the
+// same Leaky DMA pressure on the two default DDIO ways that line-rate
+// networking does. SPDK-style polled-mode consumption is modelled by
+// workload.SPDKServer.
+package nvme
+
+import (
+	"fmt"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/ddio"
+)
+
+// Opcode is an NVMe command opcode (the two that matter for the cache
+// study).
+type Opcode int
+
+// Opcodes.
+const (
+	// Read transfers block data device-to-host (a DDIO write).
+	Read Opcode = iota
+	// Write transfers host-to-device (a DDIO/device read).
+	Write
+)
+
+// Command is one submission-queue entry.
+type Command struct {
+	Op Opcode
+	// LBA is the logical block address (block-size units).
+	LBA uint64
+	// Bytes is the transfer length.
+	Bytes int
+	// Buf is the host DMA buffer address.
+	Buf uint64
+	// SubmitNS is stamped at submission for latency accounting.
+	SubmitNS float64
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	Cmd        Command
+	CompleteNS float64
+}
+
+// Config shapes a device.
+type Config struct {
+	Name string
+	// QueueDepth bounds outstanding commands per queue pair (NVMe
+	// devices advertise thousands; SPDK setups typically run 32-512).
+	QueueDepth int
+	// ReadLatencyNS / WriteLatencyNS are the media access latencies
+	// (flash reads ~80us, writes absorbed by device RAM ~20us).
+	ReadLatencyNS  float64
+	WriteLatencyNS float64
+	// BandwidthGBps caps the device's data transfer rate (a PCIe Gen3 x4
+	// drive moves ~3.5 GB/s).
+	BandwidthGBps float64
+}
+
+// DefaultConfig resembles a datacenter Gen3 NVMe drive.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:           name,
+		QueueDepth:     256,
+		ReadLatencyNS:  80e3,
+		WriteLatencyNS: 20e3,
+		BandwidthGBps:  3.5,
+	}
+}
+
+// QueuePair is one submission/completion queue pair bound to a consuming
+// core. Ring discipline is modelled at command granularity; the doorbell
+// and CQ entry cache traffic is charged to the DMA path (one line per
+// completion, as CQ entries are 16B and arrive batched).
+type QueuePair struct {
+	ConsumerCore int
+
+	inflight  []Completion // scheduled completions, ordered by time
+	completed []Completion // ready for the host to reap
+	submitted uint64
+	reaped    uint64
+
+	cqRegion addr.Region
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64 // device-to-host
+	BytesWritten uint64 // host-to-device
+	QueueFull    uint64 // submissions rejected at full queue depth
+}
+
+// Device is the NVMe controller model. Attach its Tick to the platform via
+// sim.Platform.AddMicrotickHook.
+type Device struct {
+	cfg   Config
+	eng   *ddio.Engine
+	qps   []*QueuePair
+	stats Stats
+
+	// txAcc paces data transfers at the device's bandwidth.
+	txAcc float64
+}
+
+// New builds a device with n queue pairs, allocating CQ rings from al and
+// moving data through eng.
+func New(cfg Config, n int, eng *ddio.Engine, al *addr.Allocator) *Device {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.BandwidthGBps == 0 {
+		cfg.BandwidthGBps = 3.5
+	}
+	d := &Device{cfg: cfg, eng: eng}
+	for i := 0; i < n; i++ {
+		d.qps = append(d.qps, &QueuePair{
+			ConsumerCore: -1,
+			cqRegion:     al.Alloc(uint64(cfg.QueueDepth)*addr.LineSize, 0),
+		})
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns cumulative device statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// QP returns queue pair i.
+func (d *Device) QP(i int) *QueuePair { return d.qps[i] }
+
+// Outstanding returns the in-flight command count of queue pair i.
+func (qp *QueuePair) Outstanding() int { return len(qp.inflight) + len(qp.completed) }
+
+// Submit enqueues a command on queue pair i at time nowNS. It returns
+// false (and counts QueueFull) when the pair is at its depth limit.
+// Host-to-device data for writes is read immediately (the device pulls the
+// payload before acknowledging, like real drives with volatile write
+// caches).
+func (d *Device) Submit(i int, cmd Command, nowNS float64) bool {
+	qp := d.qps[i]
+	if qp.Outstanding() >= d.cfg.QueueDepth {
+		d.stats.QueueFull++
+		return false
+	}
+	cmd.SubmitNS = nowNS
+	lat := d.cfg.ReadLatencyNS
+	if cmd.Op == Write {
+		lat = d.cfg.WriteLatencyNS
+		// Pull the payload from the host now.
+		d.eng.DeviceRead(cmd.Buf, cmd.Bytes)
+		d.stats.Writes++
+		d.stats.BytesWritten += uint64(cmd.Bytes)
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += uint64(cmd.Bytes)
+	}
+	qp.inflight = append(qp.inflight, Completion{Cmd: cmd, CompleteNS: nowNS + lat})
+	qp.submitted++
+	return true
+}
+
+// Tick advances the device by one microtick: commands whose media latency
+// elapsed complete, their data (for reads) is DMA'd into the host through
+// DDIO at the device's bandwidth, and a completion entry is posted.
+func (d *Device) Tick(nowNS, dtNS float64) {
+	d.txAcc += d.cfg.BandwidthGBps * dtNS // GB/s * ns = bytes
+	for _, qp := range d.qps {
+		remaining := qp.inflight[:0]
+		for _, c := range qp.inflight {
+			if c.CompleteNS > nowNS || (c.Cmd.Op == Read && float64(c.Cmd.Bytes) > d.txAcc) {
+				remaining = append(remaining, c)
+				continue
+			}
+			if c.Cmd.Op == Read {
+				d.txAcc -= float64(c.Cmd.Bytes)
+				// The block lands in the LLC (or leaks): the
+				// Leaky DMA path for storage.
+				d.eng.DeviceWrite(c.Cmd.Buf, c.Cmd.Bytes, qp.ConsumerCore)
+			}
+			// Completion entry (one line, batched CQ doorbell).
+			slot := int(qp.reaped+uint64(len(qp.completed))) % d.cfg.QueueDepth
+			d.eng.DeviceWrite(qp.cqRegion.Line(slot), addr.LineSize, qp.ConsumerCore)
+			c.CompleteNS = nowNS
+			qp.completed = append(qp.completed, c)
+		}
+		qp.inflight = remaining
+	}
+}
+
+// Reap removes up to max completions from queue pair i, returning them in
+// completion order. The host's CQ-entry reads are the caller's cache
+// accesses (workloads charge them via their execution context).
+func (d *Device) Reap(i, max int) []Completion {
+	qp := d.qps[i]
+	n := len(qp.completed)
+	if n > max {
+		n = max
+	}
+	out := qp.completed[:n:n]
+	qp.completed = qp.completed[n:]
+	qp.reaped += uint64(n)
+	return out
+}
+
+// CQLine returns the completion-queue line address for reap index r of
+// queue pair i (the host touches it when polling).
+func (d *Device) CQLine(i int, r uint64) uint64 {
+	return d.qps[i].cqRegion.Line(int(r) % d.cfg.QueueDepth)
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("nvme{%s qd=%d}", d.cfg.Name, d.cfg.QueueDepth)
+}

@@ -1,0 +1,134 @@
+package nvme
+
+import (
+	"testing"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/cache"
+	"iatsim/internal/ddio"
+	"iatsim/internal/mem"
+	"iatsim/internal/msr"
+)
+
+func newDevice(t *testing.T, cfg Config) (*Device, *cache.Hierarchy, *mem.Controller) {
+	t.Helper()
+	mc := mem.NewController(mem.Config{})
+	mc.BeginEpoch(1e12)
+	h := cache.NewHierarchy(cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitCycles: 4},
+		L2:    cache.LevelConfig{SizeBytes: 32 << 10, Ways: 8, HitCycles: 14},
+		LLC:   cache.LLCConfig{Slices: 2, Ways: 8, SetsPerSlice: 256, HitCycles: 44},
+	}, 2.3, mc)
+	eng := ddio.New(msr.NewFile(), h, mc)
+	return New(cfg, 1, eng, addr.NewAllocator(1<<30)), h, mc
+}
+
+func TestReadCompletesAfterLatency(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.ReadLatencyNS = 1000
+	d, h, _ := newDevice(t, cfg)
+	cmd := Command{Op: Read, LBA: 7, Bytes: 4096, Buf: 0x100000}
+	if !d.Submit(0, cmd, 0) {
+		t.Fatal("submit failed")
+	}
+	d.Tick(500, 500)
+	if len(d.Reap(0, 8)) != 0 {
+		t.Fatal("completed before the media latency elapsed")
+	}
+	d.Tick(1500, 1000)
+	comps := d.Reap(0, 8)
+	if len(comps) != 1 {
+		t.Fatalf("reaped %d completions", len(comps))
+	}
+	// The block was DMA'd into the LLC via DDIO.
+	if !h.LLC().Contains(0x100000) {
+		t.Fatal("read data not placed through DDIO")
+	}
+	if st := d.Stats(); st.Reads != 1 || st.BytesRead != 4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWritePullsPayloadImmediately(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	d, _, mc := newDevice(t, cfg)
+	before := mc.Stats().BytesRead
+	if !d.Submit(0, Command{Op: Write, Bytes: 8192, Buf: 0x200000}, 0) {
+		t.Fatal("submit failed")
+	}
+	// Payload absent from the LLC: the device pulls it from memory.
+	if mc.Stats().BytesRead != before+8192 {
+		t.Fatalf("device pulled %d bytes", mc.Stats().BytesRead-before)
+	}
+	d.Tick(cfg.WriteLatencyNS+1, 1000)
+	if len(d.Reap(0, 8)) != 1 {
+		t.Fatal("write never completed")
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.QueueDepth = 4
+	d, _, _ := newDevice(t, cfg)
+	for i := 0; i < 4; i++ {
+		if !d.Submit(0, Command{Op: Read, Bytes: 512, Buf: uint64(0x300000 + i*512)}, 0) {
+			t.Fatalf("submit %d failed", i)
+		}
+	}
+	if d.Submit(0, Command{Op: Read, Bytes: 512, Buf: 0x400000}, 0) {
+		t.Fatal("submit beyond queue depth succeeded")
+	}
+	if d.Stats().QueueFull != 1 {
+		t.Fatalf("queue-full count = %d", d.Stats().QueueFull)
+	}
+}
+
+func TestBandwidthPacesReads(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.ReadLatencyNS = 100
+	cfg.BandwidthGBps = 1 // 1 byte/ns
+	d, _, _ := newDevice(t, cfg)
+	// Two 1MB reads: at 1 byte/ns only one fits a 1.1ms tick budget.
+	d.Submit(0, Command{Op: Read, Bytes: 1 << 20, Buf: 0x500000}, 0)
+	d.Submit(0, Command{Op: Read, Bytes: 1 << 20, Buf: 0x700000}, 0)
+	d.Tick(1.1e6, 1.1e6)
+	if n := len(d.Reap(0, 8)); n != 1 {
+		t.Fatalf("%d reads completed in one bandwidth window, want 1", n)
+	}
+	d.Tick(2.2e6, 1.1e6)
+	if n := len(d.Reap(0, 8)); n != 1 {
+		t.Fatalf("second read did not complete: %d", n)
+	}
+}
+
+func TestCompletionsCarrySubmitTime(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.ReadLatencyNS = 1000
+	d, _, _ := newDevice(t, cfg)
+	d.Submit(0, Command{Op: Read, Bytes: 512, Buf: 0x900000}, 42)
+	d.Tick(5000, 5000)
+	comps := d.Reap(0, 8)
+	if len(comps) != 1 || comps[0].Cmd.SubmitNS != 42 {
+		t.Fatalf("completions = %+v", comps)
+	}
+	if comps[0].CompleteNS < 42+1000 {
+		t.Fatalf("completed too early: %v", comps[0].CompleteNS)
+	}
+}
+
+func TestReapRespectsMax(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.ReadLatencyNS = 1
+	d, _, _ := newDevice(t, cfg)
+	for i := 0; i < 6; i++ {
+		d.Submit(0, Command{Op: Read, Bytes: 512, Buf: uint64(0xA00000 + i*512)}, 0)
+	}
+	d.Tick(1e6, 1e6)
+	if n := len(d.Reap(0, 4)); n != 4 {
+		t.Fatalf("reaped %d, want 4", n)
+	}
+	if n := len(d.Reap(0, 4)); n != 2 {
+		t.Fatalf("reaped %d, want 2", n)
+	}
+}

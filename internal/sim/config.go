@@ -1,0 +1,97 @@
+// Package sim is the platform simulation engine: it assembles the memory
+// controller, the cache hierarchy, the MSR register file, the RDT
+// controller, the DDIO engine, NIC devices and tenants into one machine and
+// advances simulated time in epochs subdivided into microticks, during which
+// traffic generators, DMA engines and core workloads run interleaved.
+//
+// The engine exposes exactly the observables the paper's daemon polls —
+// per-core instructions, cycles, LLC references and misses, and per-CHA
+// DDIO hit/miss counters — through the MSR file, so the IAT implementation
+// in internal/core is oblivious to the fact that it is driving a simulation.
+package sim
+
+import (
+	"iatsim/internal/cache"
+	"iatsim/internal/mem"
+)
+
+// Config describes a platform.
+type Config struct {
+	// Cores is the number of physical cores (Hyper-Threading disabled,
+	// as in the paper's testbed).
+	Cores int
+	// FreqGHz is the core clock (2.3 for the Xeon Gold 6140).
+	FreqGHz float64
+	// Scale divides both the offered packet rate and the per-core cycle
+	// budget, preserving producer/consumer balance and cache footprints
+	// while shrinking simulation cost. Reported throughputs are
+	// multiplied back. 1 disables scaling.
+	Scale float64
+	// EpochNS is the engine step; controllers are polled once per epoch.
+	EpochNS float64
+	// Microticks subdivides an epoch for NIC/core interleaving.
+	Microticks int
+	// Hier is the cache hierarchy shape.
+	Hier cache.HierarchyConfig
+	// Mem is the memory subsystem model.
+	Mem mem.Config
+	// NumCLOS is how many classes of service CAT exposes.
+	NumCLOS int
+	// BaseCPI is the cycles-per-instruction of non-memory work (0.5
+	// models a 2-wide retire, a reasonable figure for Skylake-SP
+	// integer code).
+	BaseCPI float64
+	// AmbientFillPS is the background LLC allocation rate (lines per
+	// unscaled second) modelling kernel/agent/prefetcher churn from the
+	// parts of the host the workloads don't capture. It is divided by
+	// Scale like every other rate. 0 selects the default (20M lines/s,
+	// ~1.3GB/s of fill traffic across the socket); negative disables it.
+	AmbientFillPS float64
+}
+
+// XeonGold6140 returns the paper's testbed configuration (Table I): 18
+// cores at 2.3GHz, 8-way 32KB L1D, 16-way 1MB L2, 11-way 24.75MB LLC in 18
+// slices, six DDR4-2666 channels.
+func XeonGold6140(scale float64) Config {
+	const cores = 18
+	return Config{
+		Cores:      cores,
+		FreqGHz:    2.3,
+		Scale:      scale,
+		EpochNS:    1e6, // 1ms
+		Microticks: 20,
+		Hier:       cache.XeonGold6140Hierarchy(cores),
+		Mem:        mem.DefaultConfig(),
+		NumCLOS:    16,
+		BaseCPI:    0.5,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.EpochNS == 0 {
+		c.EpochNS = 1e6
+	}
+	if c.Microticks == 0 {
+		c.Microticks = 20
+	}
+	if c.NumCLOS == 0 {
+		c.NumCLOS = 16
+	}
+	if c.BaseCPI == 0 {
+		c.BaseCPI = 0.5
+	}
+	if c.AmbientFillPS == 0 {
+		c.AmbientFillPS = 20e6
+	}
+	return c
+}
+
+// CycleBudget returns the per-core cycle budget of one microtick.
+func (c Config) CycleBudget() int64 {
+	dt := c.EpochNS / float64(c.Microticks)
+	return int64(c.FreqGHz * dt / c.Scale)
+}

@@ -1,0 +1,58 @@
+package sim
+
+// Priority is a tenant's scheduling class (Sec. IV-A of the paper: modern
+// clusters hint priorities; IAT assumes performance-critical and
+// best-effort, plus a special class for the aggregation model's software
+// stack).
+type Priority int
+
+// Priority values.
+const (
+	// BestEffort (BE) tenants are the shuffling candidates that may be
+	// made to share LLC ways with DDIO.
+	BestEffort Priority = iota
+	// PerformanceCritical (PC) tenants are isolated from DDIO's ways as
+	// much as possible.
+	PerformanceCritical
+	// Stack marks the aggregation model's centralised software stack
+	// (e.g. the OVS virtual switch): not a tenant, but tracked with a
+	// special priority (Sec. IV-A).
+	Stack
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case BestEffort:
+		return "BE"
+	case PerformanceCritical:
+		return "PC"
+	case Stack:
+		return "stack"
+	}
+	return "?"
+}
+
+// Worker is one core's worth of a tenant's workload. Run is called once per
+// microtick with a fresh execution context holding the core's cycle budget;
+// the worker consumes budget via ctx.Access and ctx.Compute until
+// ctx.Remaining() <= 0, or returns early if it is genuinely idle (non-
+// polling batch work that has finished).
+type Worker interface {
+	Run(ctx *Ctx)
+}
+
+// Tenant is a container/VM: a name, the cores it is pinned to, its CAT
+// class of service, its priority, whether its workload is I/O ("networking"
+// in the paper's terms), and one Worker per core.
+type Tenant struct {
+	Name     string
+	Cores    []int
+	CLOS     int
+	Priority Priority
+	// IsIO marks networking tenants: IAT uses this to attribute
+	// performance fluctuations to I/O vs. pure core phases (Sec. IV-A).
+	IsIO bool
+	// Workers run the tenant's code, parallel to Cores.
+	Workers []Worker
+}

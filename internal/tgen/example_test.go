@@ -1,0 +1,30 @@
+package tgen_test
+
+import (
+	"fmt"
+
+	"iatsim/internal/tgen"
+)
+
+// ExampleLineRatePPS reproduces the paper's introductory arithmetic: 100Gb
+// of 64B packets (plus 20B of Ethernet overhead each) is 148.8Mpps.
+func ExampleLineRatePPS() {
+	fmt.Printf("%.1f Mpps\n", tgen.LineRatePPS(100, 64)/1e6)
+	// Output:
+	// 148.8 Mpps
+}
+
+// ExampleRFC2544Search finds the zero-drop capacity of a synthetic device
+// that starts dropping above 7.5Mpps.
+func ExampleRFC2544Search() {
+	trial := func(rate float64) (drops uint64, delivered float64) {
+		if rate > 7.5e6 {
+			return uint64(rate - 7.5e6), 7.5e6
+		}
+		return 0, rate
+	}
+	res := tgen.RFC2544Search(59.5e6, 0.01, trial)
+	fmt.Printf("%.1f Mpps in %d trials\n", res.MaxRatePPS/1e6, res.Trials)
+	// Output:
+	// 7.4 Mpps in 8 trials
+}

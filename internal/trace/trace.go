@@ -1,0 +1,76 @@
+// Package trace exports controller and experiment time series as CSV, so
+// the figures cmd/experiments regenerates (notably the Fig. 11 allocation
+// timeline) can be plotted with any external tool.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"iatsim/internal/core"
+)
+
+// Writer streams IAT iteration records as CSV.
+type Writer struct {
+	csv      *csv.Writer
+	wroteHdr bool
+	closMap  []int // stable column order for per-CLOS masks
+}
+
+// NewWriter wraps w. Close (Flush) must be called to drain buffered rows.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{csv: csv.NewWriter(w)}
+}
+
+// header emits the column row, fixing the CLOS column order from the first
+// record.
+func (t *Writer) header(info core.IterationInfo) error {
+	cols := []string{"time_s", "state", "stable", "action", "ddio_ways", "ddio_mask", "ddio_hit_ps", "ddio_miss_ps"}
+	t.closMap = t.closMap[:0]
+	for clos := 0; clos < 64; clos++ {
+		if _, ok := info.Masks[clos]; ok {
+			t.closMap = append(t.closMap, clos)
+			cols = append(cols, fmt.Sprintf("clos%d_mask", clos))
+		}
+	}
+	t.wroteHdr = true
+	return t.csv.Write(cols)
+}
+
+// Record appends one iteration. Safe to use as a core.Daemon OnIteration
+// callback via t.Hook().
+func (t *Writer) Record(info core.IterationInfo) error {
+	if !t.wroteHdr {
+		if err := t.header(info); err != nil {
+			return err
+		}
+	}
+	row := []string{
+		strconv.FormatFloat(info.NowNS/1e9, 'f', 3, 64),
+		info.State.String(),
+		strconv.FormatBool(info.Stable),
+		info.Action,
+		strconv.Itoa(info.DDIOWays),
+		info.DDIOMask.String(),
+		strconv.FormatFloat(info.DDIOHitPS, 'e', 3, 64),
+		strconv.FormatFloat(info.DDIOMissPS, 'e', 3, 64),
+	}
+	for _, clos := range t.closMap {
+		row = append(row, info.Masks[clos].String())
+	}
+	return t.csv.Write(row)
+}
+
+// Hook adapts the writer to the daemon's OnIteration callback, swallowing
+// write errors (tracing must never perturb the control loop).
+func (t *Writer) Hook() func(core.IterationInfo) {
+	return func(info core.IterationInfo) { _ = t.Record(info) }
+}
+
+// Flush drains buffered rows to the underlying writer.
+func (t *Writer) Flush() error {
+	t.csv.Flush()
+	return t.csv.Error()
+}

@@ -1,0 +1,123 @@
+package workload_test
+
+import (
+	"testing"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/nic"
+	"iatsim/internal/pkt"
+	"iatsim/internal/sim"
+	"iatsim/internal/tgen"
+	"iatsim/internal/workload"
+)
+
+// buildForwarder assembles a minimal slicing-model platform: one NIC VF,
+// one testpmd tenant on core 0 with 2 dedicated ways.
+func buildForwarder(t *testing.T, scale float64, ringEntries int) (*sim.Platform, *nic.Device, *workload.TestPMD) {
+	t.Helper()
+	cfg := sim.XeonGold6140(scale)
+	p := sim.NewPlatform(cfg)
+	dev := p.AddDevice(nic.Config{Name: "nic0", RxEntries: ringEntries, VFs: 1})
+	vf := dev.VF(0)
+	vf.ConsumerCore = 0
+	fwd := workload.NewTestPMD(vf)
+	if err := p.RDT.SetCLOSMask(1, cache.ContiguousMask(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTenant(&sim.Tenant{
+		Name:     "fwd",
+		Cores:    []int{0},
+		CLOS:     1,
+		Priority: sim.PerformanceCritical,
+		IsIO:     true,
+		Workers:  []sim.Worker{fwd},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p, dev, fwd
+}
+
+func TestPacketFlowEndToEnd(t *testing.T) {
+	p, dev, fwd := buildForwarder(t, 100, 1024)
+	flows := pkt.NewFlowSet(64, 0, 1)
+	g := tgen.NewGenerator(p.GeneratorRate(1e6), 64, flows, 42)
+	p.AttachGenerator(g, dev, 0)
+
+	p.Run(100e6) // 100ms simulated
+
+	vf := dev.VF(0)
+	if vf.Stats.RxPackets == 0 {
+		t.Fatal("no packets received")
+	}
+	if vf.Stats.TxPackets == 0 {
+		t.Fatal("no packets transmitted")
+	}
+	if vf.Stats.RxDrops != 0 {
+		t.Fatalf("unexpected drops at light load: %d", vf.Stats.RxDrops)
+	}
+	if fwd.Stats().Ops != vf.Stats.TxPackets+uint64(vf.Tx.Len()) {
+		t.Fatalf("forwarded %d != transmitted %d + in-flight %d",
+			fwd.Stats().Ops, vf.Stats.TxPackets, vf.Tx.Len())
+	}
+	// The DDIO engine must have been exercised.
+	ds := p.DDIO.Stats()
+	if ds.LinesWritten == 0 || ds.LinesRead == 0 {
+		t.Fatalf("DDIO not exercised: %+v", ds)
+	}
+	// The forwarding core retired instructions at a sane IPC.
+	instr, cycles := p.CoreInstr(0), p.CoreCycles(0)
+	if instr == 0 || cycles == 0 {
+		t.Fatal("no core activity recorded")
+	}
+	ipc := float64(instr) / float64(cycles)
+	if ipc <= 0 || ipc > 4 {
+		t.Fatalf("implausible IPC %.2f", ipc)
+	}
+}
+
+func TestOverloadDropsPackets(t *testing.T) {
+	p, dev, _ := buildForwarder(t, 100, 256)
+	flows := pkt.NewFlowSet(64, 0, 1)
+	// 64B line rate on 40GbE is ~59.5Mpps; one testpmd core cannot keep
+	// up, so the Rx ring must overflow.
+	g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, 64)), 64, flows, 42)
+	p.AttachGenerator(g, dev, 0)
+
+	p.Run(50e6)
+
+	vf := dev.VF(0)
+	if vf.Stats.RxDrops == 0 {
+		t.Fatalf("expected drops at line rate; stats=%+v", vf.Stats)
+	}
+	if vf.Stats.TxPackets == 0 {
+		t.Fatal("forwarder made no progress under overload")
+	}
+}
+
+func TestDDIOLeakGrowsWithPacketSize(t *testing.T) {
+	missRatio := func(size int) float64 {
+		p, dev, _ := buildForwarder(t, 100, 1024)
+		flows := pkt.NewFlowSet(64, 0, 1)
+		rate := tgen.LineRatePPS(40, size) * 0.5
+		if rate > 5e6 {
+			rate = 5e6 // keep the single forwarding core ahead of arrivals
+		}
+		g := tgen.NewGenerator(p.GeneratorRate(rate), size, flows, 42)
+		p.AttachGenerator(g, dev, 0)
+		p.Run(400e6) // warm the posted-buffer rotation past the ring size
+		warm := p.Hier.LLC().TotalStats()
+		p.Run(600e6)
+		st := p.Hier.LLC().TotalStats()
+		hits := st.DDIOHits - warm.DDIOHits
+		misses := st.DDIOMisses - warm.DDIOMisses
+		if hits+misses == 0 {
+			t.Fatalf("no DDIO traffic at size %d", size)
+		}
+		return float64(misses) / float64(hits+misses)
+	}
+	small := missRatio(64)
+	large := missRatio(1500)
+	if large <= small {
+		t.Fatalf("expected DDIO miss ratio to grow with packet size: 64B=%.3f 1500B=%.3f", small, large)
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"iatsim/internal/addr"
+	"iatsim/internal/nic"
+	"iatsim/internal/sim"
+	"iatsim/internal/ycsb"
+)
+
+// NFChain models the FastClick-based stateful service chain of the paper's
+// NFV experiment (Sec. VI-C): a classifier-based firewall, an
+// AggregateIPFlows-style flow statistics stage, and a network address/port
+// translator (NAPT), run back to back on each packet of one VLAN's traffic
+// arriving on a dedicated SR-IOV VF (slicing model).
+type NFChain struct {
+	VF *nic.VF
+
+	rules   addr.Region // firewall classifier rules
+	flowTbl addr.Region // per-flow statistics
+	naptTbl addr.Region // translation table
+
+	// RuleProbes is how many classifier lines a packet traverses.
+	RuleProbes  int
+	PerPktInstr int64
+	Burst       int
+
+	stats   OpStats
+	txDrops uint64
+	hist    ycsb.Histogram
+	prevLat float64
+	jitter  float64 // sum of |lat_i - lat_{i-1}|, the paper's "time variance"
+}
+
+// NewNFChain builds a chain instance sized for the given flow count.
+func NewNFChain(vf *nic.VF, flows int, al *addr.Allocator) *NFChain {
+	if flows < 1 {
+		flows = 1
+	}
+	return &NFChain{
+		VF:          vf,
+		rules:       al.Alloc(256*addr.LineSize, 0), // 256-rule classifier
+		flowTbl:     al.Alloc(uint64(flows)*addr.LineSize, 0),
+		naptTbl:     al.Alloc(uint64(flows)*addr.LineSize, 0),
+		RuleProbes:  8,
+		PerPktInstr: 350,
+		Burst:       32,
+	}
+}
+
+// Run implements sim.Worker.
+func (n *NFChain) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		if n.VF.Rx.Empty() {
+			idlePoll(ctx)
+			continue
+		}
+		for b := 0; b < n.Burst && !n.VF.Rx.Empty() && ctx.Remaining() > 0; b++ {
+			slot, e, _ := n.VF.Rx.Pop()
+			start := ctx.Remaining()
+			ctx.Access(n.VF.Rx.DescAddr(slot), false)
+			n.VF.ReplenishRx(slot)
+			ctx.Access(n.VF.Rx.DescAddr(slot), true) // post fresh descriptor
+			ctx.Access(e.Buf, false)                 // parse
+			h := e.Pkt.Flow.Hash()
+			// NF1: firewall — linear classifier walk.
+			for p := 0; p < n.RuleProbes; p++ {
+				ctx.Access(n.rules.Line(p), false)
+			}
+			// NF2: flow stats — read-modify-write of the flow record.
+			fl := n.flowTbl.Line(int(h % uint64(n.flowTbl.Lines())))
+			ctx.Access(fl, false)
+			ctx.Access(fl, true)
+			// NF3: NAPT — translation lookup + header rewrite.
+			ctx.Access(n.naptTbl.Line(int((h>>16)%uint64(n.naptTbl.Lines()))), false)
+			ctx.Access(e.Buf, true)
+			ctx.Compute(n.PerPktInstr)
+			if txSlot := n.VF.Tx.Push(e); txSlot < 0 {
+				n.txDrops++
+				n.VF.Pool.Put(e.Buf)
+			} else {
+				ctx.Access(n.VF.Tx.DescAddr(txSlot), true)
+			}
+			svc := start - ctx.Remaining()
+			n.stats.Ops++
+			n.stats.LatCycles += uint64(svc)
+			lat := ctx.NowNS() - e.Pkt.ArrivalNS + ctx.CyclesNS(svc)
+			n.hist.Record(lat)
+			if n.prevLat > 0 {
+				d := lat - n.prevLat
+				if d < 0 {
+					d = -d
+				}
+				n.jitter += d
+			}
+			n.prevLat = lat
+		}
+	}
+}
+
+// Hist returns the per-packet latency histogram (arrival to service
+// completion), for the round-trip latency observations of Sec. VI-C.
+func (n *NFChain) Hist() *ycsb.Histogram { return &n.hist }
+
+// Jitter returns the cumulative |latency delta| between consecutive
+// packets — the paper's "time variance between two consecutive packets".
+func (n *NFChain) Jitter() float64 { return n.jitter }
+
+// Stats returns cumulative per-packet statistics.
+func (n *NFChain) Stats() OpStats { return n.stats }
+
+// TxDrops returns packets dropped at a full Tx ring.
+func (n *NFChain) TxDrops() uint64 { return n.txDrops }

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math/bits"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/nic"
+	"iatsim/internal/pkt"
+	"iatsim/internal/sim"
+)
+
+// OVSStats counts virtual-switch activity.
+type OVSStats struct {
+	Packets     uint64 // packets switched (both directions)
+	EMCHits     uint64
+	MegaLookups uint64
+	Drops       uint64 // packets dropped at a full destination
+	BytesCopied uint64
+}
+
+// OVS models the OVS-DPDK virtual switch of the aggregation model: an exact
+// match cache (EMC) in front of a megaflow (wildcard) classifier, vhost-style
+// copies between NIC mbufs and tenant virtio buffers, and polling workers
+// pinned to the stack's dedicated cores.
+//
+// The flow-count sensitivity of Fig. 9 emerges from two effects: the EMC
+// (8192 entries) stops absorbing lookups once the offered flow count
+// exceeds it, and the megaflow classifier both probes more subtables and
+// touches a larger table footprint as flows grow.
+type OVS struct {
+	emc  addr.Region
+	mega addr.Region
+
+	// EMCEntries is the exact-match-cache capacity (8192 in OVS-DPDK).
+	EMCEntries int
+	// Flows is the distinct flow count offered, used to model EMC
+	// thrashing and subtable growth.
+	Flows int
+
+	// NICPorts and VirtioPorts are the switch's attachments; Route maps
+	// (ingress kind, index, flow) to an egress port.
+	NICPorts    []*nic.VF
+	VirtioPorts []*nic.VirtioPort
+	// RouteNIC maps packets arriving on NIC port i to a virtio port
+	// index; RouteVirtio maps packets arriving on virtio port i to a NIC
+	// port index. Both default to identity.
+	RouteNIC    func(i int, f pkt.Flow) int
+	RouteVirtio func(i int, f pkt.Flow) int
+
+	// EMCHitInstr / MegaInstr are per-packet instruction costs of the
+	// two lookup paths.
+	EMCHitInstr int64
+	MegaInstr   int64
+
+	stats OVSStats
+}
+
+// NewOVS builds a switch sized for up to flows distinct flows. The live
+// flow count starts at flows and can be changed at runtime with SetFlows
+// (Fig. 9 ramps it while the switch runs).
+func NewOVS(flows int, al *addr.Allocator) *OVS {
+	if flows < 1 {
+		flows = 1
+	}
+	o := &OVS{
+		emc:         al.Alloc(8192*addr.LineSize, 0),
+		mega:        al.Alloc(uint64(flows)*2*addr.LineSize, 0),
+		EMCEntries:  8192,
+		Flows:       flows,
+		EMCHitInstr: 120,
+		MegaInstr:   400,
+	}
+	o.RouteNIC = func(i int, _ pkt.Flow) int { return i % maxInt(1, len(o.VirtioPorts)) }
+	o.RouteVirtio = func(i int, _ pkt.Flow) int { return i % maxInt(1, len(o.NICPorts)) }
+	return o
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats returns cumulative switch statistics.
+func (o *OVS) Stats() OVSStats { return o.stats }
+
+// SetFlows changes the live flow count (clamped to the table the switch was
+// sized for): the megaflow working set and the EMC hit rate track it, so a
+// running switch sees its flow table grow as the paper's Fig. 9 traffic
+// ramp adds flows.
+func (o *OVS) SetFlows(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if max := o.mega.Lines() / 2; n > max {
+		n = max
+	}
+	o.Flows = n
+}
+
+// subtables models the number of megaflow subtables probed on an EMC miss:
+// it grows logarithmically with the flow count, reflecting OVS's
+// tuple-space search.
+func (o *OVS) subtables() int {
+	n := 1 + bits.Len(uint(o.Flows))/4
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// classify charges the lookup cost of one packet and returns nothing; the
+// destination comes from the Route functions.
+func (o *OVS) classify(ctx *sim.Ctx, f pkt.Flow) {
+	h := f.Hash()
+	ctx.Access(o.emc.Line(int(h%uint64(o.emc.Lines()))), false)
+	// A flow is EMC-resident when it falls in the cache's share of the
+	// universe — a steady-state thrashing approximation giving hit rate
+	// min(1, EMCEntries/Flows).
+	if int(h%uint64(o.Flows)) < o.EMCEntries {
+		o.stats.EMCHits++
+		ctx.Compute(o.EMCHitInstr)
+		return
+	}
+	o.stats.MegaLookups++
+	liveLines := uint64(2 * o.Flows)
+	for s := 0; s < o.subtables(); s++ {
+		ctx.Access(o.mega.Line(int((h>>uint(4*s))%liveLines)), false)
+	}
+	ctx.Compute(o.MegaInstr)
+	// EMC insertion.
+	ctx.Access(o.emc.Line(int(h%uint64(o.emc.Lines()))), true)
+}
+
+// copyPayload charges a vhost-style copy of n bytes from src to dst.
+func (o *OVS) copyPayload(ctx *sim.Ctx, src, dst uint64, n int) {
+	ctx.AccessRange(src, n, false)
+	ctx.AccessRange(dst, n, true)
+	o.stats.BytesCopied += uint64(n)
+}
+
+// Worker returns a polling worker serving the given NIC ports and virtio
+// ports (indices into the switch's attachment slices). The paper's setup
+// runs OVS on two dedicated cores; build one worker per core with a
+// disjoint port partition, or the same full set for shared polling.
+func (o *OVS) Worker(nicPorts, virtioPorts []int) *OVSWorker {
+	return &OVSWorker{sw: o, nicPorts: nicPorts, virtioPorts: virtioPorts, burst: 32}
+}
+
+// OVSWorker is one OVS PMD thread.
+type OVSWorker struct {
+	sw          *OVS
+	nicPorts    []int
+	virtioPorts []int
+	burst       int
+}
+
+// Run implements sim.Worker: round-robin over the assigned ports, switching
+// up to one burst per port per pass.
+func (w *OVSWorker) Run(ctx *sim.Ctx) {
+	o := w.sw
+	for ctx.Remaining() > 0 {
+		idle := true
+		for _, i := range w.nicPorts {
+			vf := o.NICPorts[i]
+			for b := 0; b < w.burst && !vf.Rx.Empty() && ctx.Remaining() > 0; b++ {
+				idle = false
+				slot, e, _ := vf.Rx.Pop()
+				ctx.Access(vf.Rx.DescAddr(slot), false)
+				vf.ReplenishRx(slot)
+				ctx.Access(vf.Rx.DescAddr(slot), true) // post fresh descriptor
+				ctx.Access(e.Buf, false)               // parse headers
+				o.classify(ctx, e.Pkt.Flow)
+				dst := o.RouteNIC(i, e.Pkt.Flow)
+				vp := o.VirtioPorts[dst]
+				dslot, dbuf, ok := vp.PushDown(e.Pkt)
+				if !ok {
+					o.stats.Drops++
+				} else {
+					o.copyPayload(ctx, e.Buf, dbuf, e.Pkt.Size)
+					ctx.Access(vp.Down.DescAddr(dslot), true)
+					o.stats.Packets++
+				}
+				vf.Pool.Put(e.Buf)
+			}
+		}
+		for _, i := range w.virtioPorts {
+			vp := o.VirtioPorts[i]
+			for b := 0; b < w.burst && !vp.Up.Empty() && ctx.Remaining() > 0; b++ {
+				idle = false
+				slot, e, _ := vp.Up.Pop()
+				ctx.Access(vp.Up.DescAddr(slot), false)
+				ctx.Access(e.Buf, false)
+				o.classify(ctx, e.Pkt.Flow)
+				dst := o.RouteVirtio(i, e.Pkt.Flow)
+				vf := o.NICPorts[dst]
+				nbuf, ok := vf.Pool.Get()
+				if !ok || vf.Tx.Full() {
+					if ok {
+						vf.Pool.Put(nbuf)
+					}
+					o.stats.Drops++
+					vp.Release(e.Buf)
+					continue
+				}
+				o.copyPayload(ctx, e.Buf, nbuf, e.Pkt.Size)
+				tslot := vf.Tx.Push(nic.Entry{Pkt: e.Pkt, Buf: nbuf})
+				ctx.Access(vf.Tx.DescAddr(tslot), true)
+				vp.Release(e.Buf)
+				o.stats.Packets++
+			}
+		}
+		if idle {
+			idlePoll(ctx)
+		}
+	}
+}

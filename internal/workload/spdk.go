@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/nvme"
+	"iatsim/internal/sim"
+	"iatsim/internal/ycsb"
+)
+
+// SPDKServer models an SPDK-style polled-mode storage server (Sec. II-C
+// names SPDK as the storage-side analogue of the user-space network
+// stacks): it keeps a target queue depth of block reads outstanding against
+// an NVMe device, reaps completions by polling the CQ, and touches every
+// returned block (checksum/serve). Completed reads were DMA'd through DDIO,
+// so the server's data accesses hit the LLC — unless the in-flight block
+// footprint outgrew the DDIO ways and leaked to memory (the storage
+// incarnation of the Leaky DMA problem: QueueDepth x BlockBytes plays the
+// role of ring-entries x packet-size).
+type SPDKServer struct {
+	Dev *nvme.Device
+	QP  int
+
+	// TargetQD is the read queue depth the server maintains.
+	TargetQD int
+	// BlockBytes is the transfer size per command.
+	BlockBytes int
+	// WriteFrac is the fraction of submissions that are writes.
+	WriteFrac float64
+
+	bufs     addr.Region
+	nbufs    int
+	nextBuf  int
+	capacity uint64 // device LBAs
+	rng      *rand.Rand
+
+	// PerIOInstr is the host-side instruction cost per completed I/O.
+	PerIOInstr int64
+
+	stats   OpStats
+	hist    ycsb.Histogram
+	reapIdx uint64
+}
+
+// NewSPDKServer builds a server against queue pair qp of dev. Buffers (one
+// per outstanding command slot) come from al.
+func NewSPDKServer(dev *nvme.Device, qp int, targetQD, blockBytes int, al *addr.Allocator, seed int64) *SPDKServer {
+	if targetQD < 1 {
+		targetQD = 1
+	}
+	if blockBytes < 512 {
+		blockBytes = 4096
+	}
+	nbufs := 2 * targetQD
+	return &SPDKServer{
+		Dev:        dev,
+		QP:         qp,
+		TargetQD:   targetQD,
+		BlockBytes: blockBytes,
+		bufs:       al.Alloc(uint64(nbufs)*uint64(blockBytes), 0),
+		nbufs:      nbufs,
+		capacity:   1 << 26, // 64M LBAs: far beyond any cache
+		rng:        newRNG(seed),
+		PerIOInstr: 600,
+	}
+}
+
+// Stats returns cumulative I/O statistics.
+func (s *SPDKServer) Stats() OpStats { return s.stats }
+
+// Hist returns the submit-to-reap latency histogram (simulated ns).
+func (s *SPDKServer) Hist() *ycsb.Histogram { return &s.hist }
+
+// Run implements sim.Worker: a classic SPDK poller — reap, process, refill.
+func (s *SPDKServer) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		comps := s.Dev.Reap(s.QP, 8)
+		if len(comps) == 0 && s.Dev.QP(s.QP).Outstanding() >= s.TargetQD {
+			idlePoll(ctx)
+			continue
+		}
+		for _, c := range comps {
+			start := ctx.Remaining()
+			// Poll the CQ entry, then consume the block.
+			ctx.Access(s.Dev.CQLine(s.QP, s.reapIdx), false)
+			s.reapIdx++
+			if c.Cmd.Op == nvme.Read {
+				ctx.AccessRange(c.Cmd.Buf, c.Cmd.Bytes, false)
+			}
+			ctx.Compute(s.PerIOInstr)
+			svc := start - ctx.Remaining()
+			s.stats.Ops++
+			s.stats.LatCycles += uint64(svc)
+			s.hist.Record(ctx.NowNS() - c.Cmd.SubmitNS + ctx.CyclesNS(svc))
+		}
+		// Refill to the target depth.
+		for s.Dev.QP(s.QP).Outstanding() < s.TargetQD && ctx.Remaining() > 0 {
+			op := nvme.Read
+			if s.WriteFrac > 0 && s.rng.Float64() < s.WriteFrac {
+				op = nvme.Write
+			}
+			buf := s.bufs.Base + uint64(s.nextBuf)*uint64(s.BlockBytes)
+			s.nextBuf = (s.nextBuf + 1) % s.nbufs
+			if op == nvme.Write {
+				// Prepare the payload (host writes the buffer).
+				ctx.AccessRange(buf, s.BlockBytes, true)
+			}
+			cmd := nvme.Command{
+				Op:    op,
+				LBA:   uint64(s.rng.Int63()) % s.capacity,
+				Bytes: s.BlockBytes,
+				Buf:   buf,
+			}
+			ctx.Compute(120) // submission path
+			if !s.Dev.Submit(s.QP, cmd, ctx.NowNS()) {
+				break
+			}
+		}
+	}
+}

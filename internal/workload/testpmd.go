@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"iatsim/internal/addr"
+	"iatsim/internal/nic"
+	"iatsim/internal/sim"
+)
+
+// TestPMD models DPDK testpmd in mac-swap forwarding mode: it bounces every
+// packet received on its VF back out, touching only the first payload line
+// (the Ethernet header), exactly like the containers in the paper's Leaky
+// DMA and Latent Contender experiments.
+type TestPMD struct {
+	VF *nic.VF
+
+	// PerPktInstr is the fixed instruction cost of one forwarded packet.
+	PerPktInstr int64
+	// Burst is the maximum packets handled per poll (DPDK's rx burst).
+	Burst int
+
+	stats   OpStats
+	txDrops uint64
+}
+
+// NewTestPMD binds a forwarder to vf.
+func NewTestPMD(vf *nic.VF) *TestPMD {
+	return &TestPMD{VF: vf, PerPktInstr: 80, Burst: 32}
+}
+
+// Run implements sim.Worker.
+func (t *TestPMD) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		if t.VF.Rx.Empty() {
+			idlePoll(ctx)
+			continue
+		}
+		for b := 0; b < t.Burst && !t.VF.Rx.Empty() && ctx.Remaining() > 0; b++ {
+			slot, e, _ := t.VF.Rx.Pop()
+			start := ctx.Remaining()
+			ctx.Access(t.VF.Rx.DescAddr(slot), false) // read descriptor
+			t.VF.ReplenishRx(slot)
+			ctx.Access(t.VF.Rx.DescAddr(slot), true) // post fresh descriptor
+			ctx.Access(e.Buf, false)                 // read Ethernet header
+			ctx.Access(e.Buf, true)                  // mac swap (store)
+			ctx.Compute(t.PerPktInstr)
+			txSlot := t.VF.Tx.Push(e)
+			if txSlot < 0 {
+				t.txDrops++
+				t.VF.Pool.Put(e.Buf)
+			} else {
+				ctx.Access(t.VF.Tx.DescAddr(txSlot), true) // write tx descriptor
+			}
+			t.stats.Ops++
+			t.stats.LatCycles += uint64(start - ctx.Remaining())
+		}
+	}
+}
+
+// Stats returns cumulative per-packet statistics.
+func (t *TestPMD) Stats() OpStats { return t.stats }
+
+// TxDrops returns packets dropped because the Tx ring was full.
+func (t *TestPMD) TxDrops() uint64 { return t.txDrops }
+
+// L3Fwd models DPDK l3fwd: every received packet is looked up in a hash
+// flow table (1M flows in the paper's RFC2544 experiment, Fig. 3) and
+// forwarded if matched. The flow table occupies one line per flow, so large
+// tables have a large LLC footprint — the property Fig. 9's flow-count
+// sweep exercises.
+type L3Fwd struct {
+	VF    *nic.VF
+	table addr.Region
+
+	// PerPktInstr is the fixed instruction cost per forwarded packet
+	// (parsing, hashing, rewrite).
+	PerPktInstr int64
+	// Probes is the number of flow-table lines inspected per lookup
+	// (cuckoo-style double probe).
+	Probes int
+	Burst  int
+
+	stats   OpStats
+	txDrops uint64
+}
+
+// NewL3Fwd binds a router with a flows-entry table to vf.
+func NewL3Fwd(vf *nic.VF, flows int, al *addr.Allocator) *L3Fwd {
+	return &L3Fwd{
+		VF:          vf,
+		table:       al.Alloc(uint64(flows)*addr.LineSize, 0),
+		PerPktInstr: 150,
+		Probes:      2,
+		Burst:       32,
+	}
+}
+
+// TableBytes returns the flow table footprint.
+func (l *L3Fwd) TableBytes() uint64 { return l.table.Size }
+
+// Run implements sim.Worker.
+func (l *L3Fwd) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		if l.VF.Rx.Empty() {
+			idlePoll(ctx)
+			continue
+		}
+		for b := 0; b < l.Burst && !l.VF.Rx.Empty() && ctx.Remaining() > 0; b++ {
+			slot, e, _ := l.VF.Rx.Pop()
+			start := ctx.Remaining()
+			ctx.Access(l.VF.Rx.DescAddr(slot), false)
+			l.VF.ReplenishRx(slot)
+			ctx.Access(l.VF.Rx.DescAddr(slot), true) // post fresh descriptor
+			ctx.Access(e.Buf, false)                 // parse headers
+			h := e.Pkt.Flow.Hash()
+			// Flow-table probes are software-prefetched across the rx
+			// burst, as real l3fwd does.
+			for p := 0; p < l.Probes; p++ {
+				ctx.AccessPipelined(l.table.Line(int((h>>uint(8*p))%uint64(l.table.Lines()))), false)
+			}
+			ctx.Access(e.Buf, true) // rewrite L2/L3 headers
+			ctx.Compute(l.PerPktInstr)
+			txSlot := l.VF.Tx.Push(e)
+			if txSlot < 0 {
+				l.txDrops++
+				l.VF.Pool.Put(e.Buf)
+			} else {
+				ctx.Access(l.VF.Tx.DescAddr(txSlot), true)
+			}
+			l.stats.Ops++
+			l.stats.LatCycles += uint64(start - ctx.Remaining())
+		}
+	}
+}
+
+// Stats returns cumulative per-packet statistics.
+func (l *L3Fwd) Stats() OpStats { return l.stats }
+
+// TxDrops returns packets dropped because the Tx ring was full.
+func (l *L3Fwd) TxDrops() uint64 { return l.txDrops }

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"iatsim/internal/nic"
+	"iatsim/internal/sim"
+)
+
+// VirtioBounce is the tenant-side counterpart of TestPMD for the
+// aggregation model: a container bouncing everything it receives on its
+// virtio port straight back (zero-copy buffer hand-off from the Down to the
+// Up ring), as the testpmd containers of the paper's Leaky DMA experiment
+// do (Sec. VI-B).
+type VirtioBounce struct {
+	Port *nic.VirtioPort
+
+	PerPktInstr int64
+	Burst       int
+
+	stats OpStats
+}
+
+// NewVirtioBounce binds a bouncer to port.
+func NewVirtioBounce(port *nic.VirtioPort) *VirtioBounce {
+	return &VirtioBounce{Port: port, PerPktInstr: 80, Burst: 32}
+}
+
+// Run implements sim.Worker.
+func (v *VirtioBounce) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		if v.Port.Down.Empty() {
+			idlePoll(ctx)
+			continue
+		}
+		for b := 0; b < v.Burst && !v.Port.Down.Empty() && ctx.Remaining() > 0; b++ {
+			slot, e, _ := v.Port.Down.Pop()
+			start := ctx.Remaining()
+			ctx.Access(v.Port.Down.DescAddr(slot), false)
+			ctx.Access(e.Buf, false) // header
+			ctx.Access(e.Buf, true)  // mac swap
+			ctx.Compute(v.PerPktInstr)
+			if uslot, ok := v.Port.PushUp(e); ok {
+				ctx.Access(v.Port.Up.DescAddr(uslot), true)
+			}
+			v.stats.Ops++
+			v.stats.LatCycles += uint64(start - ctx.Remaining())
+		}
+	}
+}
+
+// Stats returns cumulative per-packet statistics.
+func (v *VirtioBounce) Stats() OpStats { return v.stats }

@@ -1,0 +1,48 @@
+// Package workload implements the core-side applications of the paper's
+// evaluation as memory-access-faithful models: the DPDK networking apps
+// (l3fwd, testpmd, an OVS-style virtual switch, a FastClick-style NF
+// chain), the cloud microbenchmark X-Mem, SPEC2006-like memory profiles,
+// and the key-value stores (a Redis-like networked KVS and a RocksDB-like
+// memtable store) driven by YCSB.
+//
+// Every workload is a sim.Worker: it receives a cycle budget each microtick
+// and spends it through ctx.Access / ctx.Compute, so its IPC, LLC and
+// memory behaviour emerge from the cache hierarchy rather than being
+// scripted.
+package workload
+
+import (
+	"math/rand"
+
+	"iatsim/internal/sim"
+)
+
+// OpStats accumulates operation counts and latency for a workload.
+type OpStats struct {
+	Ops       uint64
+	LatCycles uint64
+}
+
+// Sub returns the delta s - o.
+func (s OpStats) Sub(o OpStats) OpStats {
+	return OpStats{Ops: s.Ops - o.Ops, LatCycles: s.LatCycles - o.LatCycles}
+}
+
+// AvgLatCycles returns mean cycles per operation, or 0.
+func (s OpStats) AvgLatCycles() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.LatCycles) / float64(s.Ops)
+}
+
+// pollCost is the instruction cost of one empty poll iteration of a DPDK
+// receive loop.
+const pollCost = 40
+
+// idlePoll charges one empty-poll iteration; used by all polling workers so
+// an idle DPDK core still runs hot (as real busy-polling cores do).
+func idlePoll(ctx *sim.Ctx) { ctx.Compute(pollCost) }
+
+// newRNG builds a deterministic per-worker RNG.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

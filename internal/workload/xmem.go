@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math/rand"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/sim"
+)
+
+// XMem models the X-Mem cloud memory microbenchmark in its random-read
+// configuration (the paper uses it in Sec. III-B and Fig. 10): a tight loop
+// of loads at uniformly random line addresses inside a working set,
+// reporting throughput (accesses per second) and average access latency.
+type XMem struct {
+	region  addr.Region
+	wsLines int
+	rng     *rand.Rand
+
+	// ComputePerOp is the non-memory instruction cost between loads
+	// (pointer arithmetic, loop overhead).
+	ComputePerOp int64
+
+	stats OpStats
+}
+
+// NewXMem builds an X-Mem instance whose working set can grow up to
+// maxBytes; the initial working set is wsBytes.
+func NewXMem(al *addr.Allocator, maxBytes, wsBytes uint64, seed int64) *XMem {
+	x := &XMem{
+		region:       al.Alloc(maxBytes, 0),
+		rng:          newRNG(seed),
+		ComputePerOp: 8,
+	}
+	x.SetWorkingSet(wsBytes)
+	return x
+}
+
+// SetWorkingSet resizes the live working set (clamped to the allocated
+// region); the paper's Fig. 10 grows container 4 from 2MB to 10MB at t=5s.
+func (x *XMem) SetWorkingSet(bytes uint64) {
+	if bytes > x.region.Size {
+		bytes = x.region.Size
+	}
+	x.wsLines = int(bytes / addr.LineSize)
+	if x.wsLines < 1 {
+		x.wsLines = 1
+	}
+}
+
+// WorkingSetBytes returns the live working set size.
+func (x *XMem) WorkingSetBytes() uint64 { return uint64(x.wsLines) * addr.LineSize }
+
+// Run implements sim.Worker: random reads until the budget is gone.
+func (x *XMem) Run(ctx *sim.Ctx) {
+	for ctx.Remaining() > 0 {
+		a := x.region.Line(x.rng.Intn(x.wsLines))
+		lat := ctx.Access(a, false)
+		ctx.Compute(x.ComputePerOp)
+		x.stats.Ops++
+		x.stats.LatCycles += uint64(lat)
+	}
+}
+
+// Stats returns cumulative operation statistics.
+func (x *XMem) Stats() OpStats { return x.stats }

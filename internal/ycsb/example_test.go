@@ -1,0 +1,37 @@
+package ycsb_test
+
+import (
+	"fmt"
+
+	"iatsim/internal/ycsb"
+)
+
+// ExampleGenerator drives workload A (50% reads, 50% updates) over 1000
+// records and reports the observed mix.
+func ExampleGenerator() {
+	w, _ := ycsb.WorkloadByName("A")
+	g := ycsb.NewGenerator(w, 1000, 42)
+	counts := map[ycsb.Op]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.Next().Op]++
+	}
+	reads := float64(counts[ycsb.Read]) / 10000
+	fmt.Println(reads > 0.47 && reads < 0.53)
+	fmt.Println(counts[ycsb.Read]+counts[ycsb.Update] == 10000)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleHistogram records latencies and extracts percentiles.
+func ExampleHistogram() {
+	var h ycsb.Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i))
+	}
+	fmt.Println(h.Count(), h.Mean())
+	fmt.Println(h.Percentile(50) <= h.Percentile(99))
+	// Output:
+	// 1000 500.5
+	// true
+}

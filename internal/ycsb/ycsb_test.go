@@ -1,0 +1,222 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreWorkloadMixesSumToOne(t *testing.T) {
+	for _, w := range CoreWorkloads() {
+		sum := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("workload %s proportions sum to %v", w.Name, sum)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	w, err := WorkloadByName("B")
+	if err != nil || w.ReadProp != 0.95 {
+		t.Fatalf("B = %+v, err=%v", w, err)
+	}
+	if _, err := WorkloadByName("Z"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	w, _ := WorkloadByName("A")
+	g := NewGenerator(w, 10000, 1)
+	counts := map[Op]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Op]++
+	}
+	frac := float64(counts[Read]) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("workload A read fraction = %.3f", frac)
+	}
+	if counts[Update]+counts[Read] != n {
+		t.Fatalf("unexpected ops in A: %v", counts)
+	}
+}
+
+func TestGeneratorKeysInRange(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "D", "E", "F"} {
+		w, _ := WorkloadByName(name)
+		g := NewGenerator(w, 1000, 2)
+		for i := 0; i < 2000; i++ {
+			r := g.Next()
+			if r.Key >= 1000 {
+				t.Fatalf("workload %s key %d out of range", name, r.Key)
+			}
+			if r.Op == Scan && r.ScanLen < 1 {
+				t.Fatalf("scan with length %d", r.ScanLen)
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(1<<20, 0.99, 1)
+	rng := rand.New(rand.NewSource(3))
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next(rng)]++
+	}
+	// The hottest scrambled key should take a few percent of traffic —
+	// vastly above uniform (1/2^20).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.01 {
+		t.Fatalf("hottest key only %.4f of traffic; not Zipfian", float64(max)/n)
+	}
+	// And the set of touched keys must be far smaller than n (reuse).
+	if len(counts) > n/2 {
+		t.Fatalf("%d distinct keys in %d samples; no skew", len(counts), n)
+	}
+}
+
+// Property: Zipfian samples always fall in [0, n).
+func TestZipfianRangeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := uint64(nRaw%1000) + 2
+		z := NewZipfian(n, 0.99, seed)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			if z.Next(rng) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatestDistributionFavoursRecent(t *testing.T) {
+	w, _ := WorkloadByName("D")
+	g := NewGenerator(w, 10000, 4)
+	recent := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		if r.Op != Read {
+			continue
+		}
+		// "latest" keys cluster near the most recently inserted key.
+		d := int64(g.latest%10000) - int64(r.Key)
+		if d < 0 {
+			d += 10000
+		}
+		if d < 100 {
+			recent++
+		}
+	}
+	if recent < n/10 {
+		t.Fatalf("only %d/%d reads near the latest insert", recent, n)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("empty histogram should be zero-valued")
+	}
+	for _, v := range []float64{100, 200, 300, 400} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 400 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramPercentileOrdering(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		h.Record(rng.Float64() * 1e6)
+	}
+	p50, p90, p99 := h.Percentile(50), h.Percentile(90), h.Percentile(99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("percentiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	// Bucketed upper bounds: p99 of U(0,1e6) must be within a 2x bucket.
+	if p99 < 0.9e6 || p99 > 2.1e6 {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(100)
+	b.Record(300)
+	b.Record(500)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 500 || a.Mean() != 300 {
+		t.Fatalf("merged: count=%d max=%v mean=%v", a.Count(), a.Max(), a.Mean())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear the histogram")
+	}
+}
+
+// Property: merging two histograms preserves total count and max.
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		var a, b Histogram
+		maxV := 0.0
+		for _, x := range xs {
+			v := math.Abs(x)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			a.Record(v)
+			maxV = math.Max(maxV, v)
+		}
+		for _, y := range ys {
+			v := math.Abs(y)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			b.Record(v)
+			maxV = math.Max(maxV, v)
+		}
+		n := a.Count() + b.Count()
+		a.Merge(&b)
+		return a.Count() == n && a.Max() == maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		Read: "READ", Update: "UPDATE", Insert: "INSERT", Scan: "SCAN", ReadModifyWrite: "RMW",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+}
