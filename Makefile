@@ -1,0 +1,60 @@
+# Developer entry points. Tier-1 is `make build test`; `make race` is the
+# supported race-detector invocation (the parallel harness is exercised by
+# TestParallelRowsMatchSequential at 8 workers).
+
+GO      ?= go
+JOBS    ?= 4
+TMP     ?= /tmp/iatsim
+
+.PHONY: build vet test race smoke determinism scaling clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
+
+# smoke: one figure through the full parallel path — CSV + manifest out,
+# and the manifest must report zero failed jobs.
+smoke: build
+	rm -rf $(TMP)/smoke && mkdir -p $(TMP)/smoke
+	$(GO) run ./cmd/experiments -fig 3 -jobs $(JOBS) -csv $(TMP)/smoke -json $(TMP)/smoke
+	grep -q '"failures": 0' $(TMP)/smoke/manifest.json
+	@echo "smoke OK: $(TMP)/smoke/manifest.json"
+
+# determinism: -all at 1 worker vs 8 workers must emit byte-identical CSV
+# rows. fig15.csv is excluded: it measures host wall-clock time (the
+# daemon's real per-iteration cost) and is nondeterministic even between
+# two sequential runs — see results/README.md.
+determinism: build
+	rm -rf $(TMP)/det1 $(TMP)/det8 && mkdir -p $(TMP)/det1 $(TMP)/det8
+	$(GO) run ./cmd/experiments -all -jobs 1 -csv $(TMP)/det1 -json $(TMP)/det1 > /dev/null
+	$(GO) run ./cmd/experiments -all -jobs 8 -csv $(TMP)/det8 -json $(TMP)/det8 > /dev/null
+	@fail=0; for f in $(TMP)/det1/*.csv; do \
+		b=$$(basename $$f); \
+		[ "$$b" = "fig15.csv" ] && continue; \
+		cmp -s $$f $(TMP)/det8/$$b || { echo "DIVERGED: $$b"; fail=1; }; \
+	done; \
+	[ $$fail -eq 0 ] && echo "determinism OK: jobs=1 == jobs=8 (fig15 excluded: wall-clock)" || exit 1
+
+# scaling: record -all wall-clock at jobs=1 vs jobs=$(JOBS) into
+# results/harness-scaling.csv.
+scaling: build
+	rm -rf $(TMP)/scale && mkdir -p $(TMP)/scale
+	@[ -f results/harness-scaling.csv ] || echo "date,host_cores,jobs,wall_s" > results/harness-scaling.csv
+	@for j in 1 $(JOBS); do \
+		t0=$$(date +%s.%N); \
+		$(GO) run ./cmd/experiments -all -jobs $$j > /dev/null 2> /dev/null; \
+		t1=$$(date +%s.%N); \
+		echo "$$(date -u +%F),$$(nproc),$$j,$$(echo "$$t1 $$t0" | awk '{printf "%.1f", $$1-$$2}')" >> results/harness-scaling.csv; \
+	done
+	@tail -3 results/harness-scaling.csv
+
+clean:
+	rm -rf $(TMP)

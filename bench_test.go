@@ -9,6 +9,7 @@ package iatsim_test
 
 import (
 	"io"
+	"os"
 	"testing"
 
 	"iatsim/internal/bridge"
@@ -18,6 +19,15 @@ import (
 	"iatsim/internal/mem"
 	"iatsim/internal/sim"
 )
+
+// TestMain pins the experiment harness to one worker: each BenchmarkFigNN
+// times a whole sweep, and a machine-dependent worker count would make
+// the numbers incomparable across hosts. (Rows are identical at any
+// worker count; this is only about stable timings.)
+func TestMain(m *testing.M) {
+	exp.SetExec(exp.Exec{Jobs: 1})
+	os.Exit(m.Run())
+}
 
 // BenchmarkTable1PlatformStep measures the raw simulation engine: one epoch
 // of the Table I machine (18 cores, 24.75MB LLC, idle tenants).

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	experiments -fig 8          # one figure
-//	experiments -fig 3,4,8,9    # several
-//	experiments -tab 1,2        # tables
-//	experiments -all            # everything (quick sweeps)
-//	experiments -all -full      # everything at the paper's full sweeps
+//	experiments -fig 8                  # one figure
+//	experiments -fig 3,4,8,9            # several
+//	experiments -tab 1,2                # tables
+//	experiments -all                    # everything (quick sweeps)
+//	experiments -all -full              # everything at the paper's full sweeps
+//	experiments -all -jobs 8            # parallel across 8 workers
+//	experiments -all -json out/         # write out/manifest.json for the run
 //
+// Sweep points run as independent jobs on a bounded worker pool; rows come
+// back in submission order, so the output is identical at any -jobs value.
 // Every run prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
@@ -17,46 +21,55 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"iatsim/internal/exp"
+	"iatsim/internal/harness"
 )
 
+// validFigs and validTabs are the figure/table selectors this binary knows;
+// anything else is rejected up front (a typo used to silently run nothing).
+var validFigs = []string{"3", "4", "8", "9", "10", "11", "12", "13", "14", "15"}
+var validTabs = []string{"1", "2"}
+
 func main() {
-	figs := flag.String("fig", "", "comma-separated figure numbers to run (3,4,8,9,10,11,12,13,14,15)")
-	tabs := flag.String("tab", "", "comma-separated table numbers to print (1,2)")
+	figs := flag.String("fig", "", "comma-separated figure numbers to run ("+strings.Join(validFigs, ",")+")")
+	tabs := flag.String("tab", "", "comma-separated table numbers to print ("+strings.Join(validTabs, ",")+")")
 	all := flag.Bool("all", false, "run every table and figure")
 	full := flag.Bool("full", false, "use the paper's full sweeps (slower) instead of the quick defaults")
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper ablations (mechanisms, growth policy, future-DDIO, MBA)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	jsonDir := flag.String("json", "", "write a per-run manifest (timings, failures) as JSON into this directory")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to simulate concurrently")
+	seed := flag.Int64("seed", 0, "base RNG seed; 0 selects the canonical per-point seeds used by results/")
+	retries := flag.Int("retries", 0, "re-run a crashed sweep point up to this many times before reporting it failed")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, f := range strings.Split(*figs, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			want["fig"+f] = true
-		}
-	}
-	for _, t := range strings.Split(*tabs, ",") {
-		if t = strings.TrimSpace(t); t != "" {
-			want["tab"+t] = true
-		}
-	}
-	if *all {
-		for _, k := range []string{"tab1", "tab2", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
-			want[k] = true
-		}
-	}
-	if *ablations {
-		for _, k := range []string{"abl-mech", "abl-growth", "abl-ddioext", "abl-mba", "abl-policy", "abl-storage", "abl-remote", "abl-sens", "abl-resq"} {
-			want[k] = true
-		}
+	want, selectors, err := parseSelectors(*figs, *tabs, *all, *ablations)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
 	if len(want) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+
+	manifest := harness.NewManifest(harness.RunOptions{
+		Jobs: *jobs, Seed: *seed, Retries: *retries,
+		Selectors: selectors, Full: *full,
+	})
+	exp.SetExec(exp.Exec{
+		Jobs: *jobs, Seed: *seed, Retries: *retries,
+		Progress: os.Stderr, Manifest: manifest,
+	})
 
 	// run executes one experiment; fn returns the rows to (optionally)
 	// persist as CSV.
@@ -96,6 +109,72 @@ func main() {
 	run("abl-remote", func() any { return exp.RunAblationRemoteSocket(w, 100) })
 	run("abl-sens", func() any { return exp.RunSensitivity(w, 100) })
 	run("abl-resq", func() any { return exp.RunAblationResQ(w, 100) })
+
+	manifest.Finish()
+	if *jsonDir != "" {
+		path, err := manifest.Write(*jsonDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "manifest: %s\n", path)
+	}
+	if manifest.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d jobs failed\n", manifest.Failures, manifest.TotalJobs)
+		os.Exit(1)
+	}
+}
+
+// parseSelectors validates -fig/-tab and expands -all/-ablations into the
+// set of experiments to run, plus the normalised selector list recorded in
+// the manifest. Unknown selectors are an error, not a silent no-op.
+func parseSelectors(figs, tabs string, all, ablations bool) (map[string]bool, []string, error) {
+	known := func(v string, valid []string) bool {
+		for _, k := range valid {
+			if v == k {
+				return true
+			}
+		}
+		return false
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(figs, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		if !known(f, validFigs) {
+			return nil, nil, fmt.Errorf("unknown figure %q (valid: %s)", f, strings.Join(validFigs, ", "))
+		}
+		want["fig"+f] = true
+	}
+	for _, t := range strings.Split(tabs, ",") {
+		if t = strings.TrimSpace(t); t == "" {
+			continue
+		}
+		if !known(t, validTabs) {
+			return nil, nil, fmt.Errorf("unknown table %q (valid: %s)", t, strings.Join(validTabs, ", "))
+		}
+		want["tab"+t] = true
+	}
+	if all {
+		for _, t := range validTabs {
+			want["tab"+t] = true
+		}
+		for _, f := range validFigs {
+			want["fig"+f] = true
+		}
+	}
+	if ablations {
+		for _, k := range []string{"abl-mech", "abl-growth", "abl-ddioext", "abl-mba", "abl-policy", "abl-storage", "abl-remote", "abl-sens", "abl-resq"} {
+			want[k] = true
+		}
+	}
+	selectors := make([]string, 0, len(want))
+	for k := range want {
+		selectors = append(selectors, k)
+	}
+	sort.Strings(selectors)
+	return want, selectors, nil
 }
 
 func fig3Opts(full bool) exp.Fig3Opts {

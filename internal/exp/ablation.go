@@ -8,6 +8,7 @@ import (
 	"iatsim/internal/bridge"
 	"iatsim/internal/cache"
 	"iatsim/internal/core"
+	"iatsim/internal/harness"
 	"iatsim/internal/nic"
 	"iatsim/internal/nvme"
 	"iatsim/internal/pkt"
@@ -42,25 +43,34 @@ func RunAblationMechanisms(w io.Writer, scale float64) []AblationMechRow {
 		{"ddio-only", &core.Options{DisableShuffle: true, DisableTenantAdjust: true}},
 		{"full-iat", &core.Options{}},
 	}
-	var rows []AblationMechRow
+	var jobs []harness.Job
 	for _, v := range variants {
-		s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500})
-		if v.opts != nil {
-			params := core.DefaultParams()
-			params.IntervalNS = 0.2e9
-			params.ThresholdMissLowPerSec /= scale
-			if _, err := bridge.NewIAT(s.P, params, *v.opts); err != nil {
-				panic(err)
-			}
-		}
-		s.P.Run(2.4e9)
-		win := Measure(s.P, 0.8e9)
-		rows = append(rows, AblationMechRow{
-			Variant:    v.name,
-			DDIOMissPS: win.DDIOMissPS() * scale,
-			MemGBps:    win.MemGBps() * scale,
+		v := v
+		name := "abl-mech/" + v.name
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-mech", Seed: seed,
+			Fn: func() (any, error) {
+				s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500, Seed: seed})
+				if v.opts != nil {
+					params := core.DefaultParams()
+					params.IntervalNS = 0.2e9
+					params.ThresholdMissLowPerSec /= scale
+					if _, err := bridge.NewIAT(s.P, params, *v.opts); err != nil {
+						return nil, err
+					}
+				}
+				s.P.Run(2.4e9)
+				win := Measure(s.P, 0.8e9)
+				return AblationMechRow{
+					Variant:    v.name,
+					DDIOMissPS: win.DDIOMissPS() * scale,
+					MemGBps:    win.MemGBps() * scale,
+				}, nil
+			},
 		})
 	}
+	rows := runJobs[AblationMechRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — IAT mechanisms on the Leaky DMA scenario (1.5KB line rate)\n")
 		fmt.Fprintf(w, "%14s %14s %10s\n", "variant", "DDIOmiss/s", "mem GB/s")
@@ -87,28 +97,37 @@ func RunAblationGrowth(w io.Writer, scale float64) []AblationGrowthRow {
 	if scale == 0 {
 		scale = 100
 	}
-	var rows []AblationGrowthRow
+	var jobs []harness.Job
 	for _, pol := range []core.GrowthPolicy{core.GrowOneWay, core.GrowUCP} {
-		s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500})
-		params := core.DefaultParams()
-		params.IntervalNS = 0.2e9
-		params.ThresholdMissLowPerSec /= scale
-		params.Growth = pol
-		if _, err := bridge.NewIAT(s.P, params, core.Options{}); err != nil {
-			panic(err)
-		}
-		row := AblationGrowthRow{Policy: pol}
-		thresh := 1e6 / scale
-		for t := 0.0; t < 4e9; t += 0.2e9 {
-			win := Measure(s.P, 0.2e9)
-			if t > 0.6e9 && win.DDIOMissPS() < thresh && row.ConvergeNS == 0 {
-				row.ConvergeNS = s.P.NowNS()
-				break
-			}
-		}
-		row.FinalWays = s.P.RDT.DDIOMask().Count()
-		rows = append(rows, row)
+		pol := pol
+		name := "abl-growth/" + pol.String()
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-growth", Seed: seed,
+			Fn: func() (any, error) {
+				s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500, Seed: seed})
+				params := core.DefaultParams()
+				params.IntervalNS = 0.2e9
+				params.ThresholdMissLowPerSec /= scale
+				params.Growth = pol
+				if _, err := bridge.NewIAT(s.P, params, core.Options{}); err != nil {
+					return nil, err
+				}
+				row := AblationGrowthRow{Policy: pol}
+				thresh := 1e6 / scale
+				for t := 0.0; t < 4e9; t += 0.2e9 {
+					win := Measure(s.P, 0.2e9)
+					if t > 0.6e9 && win.DDIOMissPS() < thresh && row.ConvergeNS == 0 {
+						row.ConvergeNS = s.P.NowNS()
+						break
+					}
+				}
+				row.FinalWays = s.P.RDT.DDIOMask().Count()
+				return row, nil
+			},
+		})
 	}
+	rows := runJobs[AblationGrowthRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — growth policy convergence (Leaky DMA, 1.5KB)\n")
 		fmt.Fprintf(w, "%10s %14s %10s\n", "policy", "converge(s)", "ddio ways")
@@ -144,7 +163,7 @@ func RunAblationDDIOExt(w io.Writer, scale float64) []AblationDDIOExtRow {
 	if scale == 0 {
 		scale = 100
 	}
-	run := func(variant string) AblationDDIOExtRow {
+	run := func(variant string, seed int64) AblationDDIOExtRow {
 		p := sim.NewPlatform(sim.XeonGold6140(scale))
 		ways := p.Cfg.Hier.LLC.Ways
 		dev := p.AddDevice(nic.Config{Name: "nic0", VFs: 1})
@@ -169,7 +188,7 @@ func RunAblationDDIOExt(w io.Writer, scale float64) []AblationDDIOExtRow {
 			Priority: sim.PerformanceCritical, IsIO: true,
 			Workers: []sim.Worker{fwd},
 		})
-		victim := workload.NewXMem(p.Alloc, 8<<20, 8<<20, 5)
+		victim := workload.NewXMem(p.Alloc, 8<<20, 8<<20, 5+seed)
 		mustMask(p, 2, cache.ContiguousMask(ways-2, 2)) // the DDIO ways
 		mustTenant(p, &sim.Tenant{
 			Name: "victim", Cores: []int{1}, CLOS: 2,
@@ -177,7 +196,7 @@ func RunAblationDDIOExt(w io.Writer, scale float64) []AblationDDIOExtRow {
 			Workers:  []sim.Worker{victim},
 		})
 		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, 1500)), 1500,
-			pkt.NewFlowSet(1<<16, 0, 7), 42)
+			pkt.NewFlowSet(1<<16, 0, 7+uint64(seed)), 42+seed)
 		p.AttachGenerator(g, dev, 0)
 
 		p.Run(1.5e9)
@@ -197,10 +216,17 @@ func RunAblationDDIOExt(w io.Writer, scale float64) []AblationDDIOExtRow {
 		}
 		return row
 	}
-	var rows []AblationDDIOExtRow
+	var jobs []harness.Job
 	for _, v := range []string{"stock", "header-only", "device-mask"} {
-		rows = append(rows, run(v))
+		v := v
+		name := "abl-ddioext/" + v
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-ddioext", Seed: seed,
+			Fn: func() (any, error) { return run(v, seed), nil },
+		})
 	}
+	rows := runJobs[AblationDDIOExtRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — future-DDIO extensions (Sec. VII) on the Latent Contender scenario\n")
 		fmt.Fprintf(w, "%12s %12s %12s %12s %10s\n", "variant", "victim lat", "victim Mops", "fwd pps", "mem GB/s")
@@ -227,13 +253,13 @@ func RunAblationMBA(w io.Writer, scale float64) []AblationMBARow {
 	if scale == 0 {
 		scale = 100
 	}
-	run := func(throttle int) AblationMBARow {
+	run := func(throttle int, seed int64) AblationMBARow {
 		cfg := sim.XeonGold6140(scale)
 		// A narrow memory system makes the bandwidth contention visible
 		// at simulation scale.
 		cfg.Mem.BandwidthGBps = 2
 		p := sim.NewPlatform(cfg)
-		pc := workload.NewXMem(p.Alloc, 64<<20, 64<<20, 3) // always missing
+		pc := workload.NewXMem(p.Alloc, 64<<20, 64<<20, 3+seed) // always missing
 		mustMask(p, 1, cache.ContiguousMask(0, 2))
 		mustTenant(p, &sim.Tenant{
 			Name: "pc", Cores: []int{0}, CLOS: 1,
@@ -241,7 +267,7 @@ func RunAblationMBA(w io.Writer, scale float64) []AblationMBARow {
 		})
 		var bes []*workload.XMem
 		for i := 0; i < 4; i++ {
-			be := workload.NewXMem(p.Alloc, 64<<20, 64<<20, int64(11+i))
+			be := workload.NewXMem(p.Alloc, 64<<20, 64<<20, int64(11+i)+seed)
 			bes = append(bes, be)
 			mustMask(p, 2, cache.ContiguousMask(2, 2))
 			mustTenant(p, &sim.Tenant{
@@ -271,10 +297,17 @@ func RunAblationMBA(w io.Writer, scale float64) []AblationMBARow {
 			BEOpsPS:     float64(beOps) * scale,
 		}
 	}
-	var rows []AblationMBARow
+	var jobs []harness.Job
 	for _, thr := range []int{0, 50, 90} {
-		rows = append(rows, run(thr))
+		thr := thr
+		name := fmt.Sprintf("abl-mba/throttle=%d", thr)
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-mba", Seed: seed,
+			Fn: func() (any, error) { return run(thr, seed), nil },
+		})
 	}
+	rows := runJobs[AblationMBARow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — MBA on memory-bandwidth interference (narrow 2GB/s memory)\n")
 		fmt.Fprintf(w, "%12s %14s %14s\n", "BE throttle", "PC lat (ns)", "BE ops/s")
@@ -306,7 +339,7 @@ func RunAblationReplacement(w io.Writer, scale float64) []AblationPolicyRow {
 	if scale == 0 {
 		scale = 100
 	}
-	run := func(policy cache.ReplacementPolicy, startOnDDIO bool) float64 {
+	run := func(policy cache.ReplacementPolicy, startOnDDIO bool, seed int64) float64 {
 		cfg := sim.XeonGold6140(scale)
 		cfg.Hier.LLC.Policy = policy
 		p := sim.NewPlatform(cfg)
@@ -321,7 +354,7 @@ func RunAblationReplacement(w io.Writer, scale float64) []AblationPolicyRow {
 			Priority: sim.PerformanceCritical, IsIO: true,
 			Workers: []sim.Worker{fwd},
 		})
-		x := workload.NewXMem(p.Alloc, 8<<20, 8<<20, 5)
+		x := workload.NewXMem(p.Alloc, 8<<20, 8<<20, 5+seed)
 		start := cache.ContiguousMask(3, 2)
 		if startOnDDIO {
 			start = cache.ContiguousMask(ways-2, 2)
@@ -333,7 +366,7 @@ func RunAblationReplacement(w io.Writer, scale float64) []AblationPolicyRow {
 			Workers:  []sim.Worker{x},
 		})
 		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, 1500)), 1500,
-			pkt.NewFlowSet(64, 0, 7), 42)
+			pkt.NewFlowSet(64, 0, 7+uint64(seed)), 42+seed)
 		p.AttachGenerator(g, dev, 0)
 
 		p.Run(1e9)
@@ -352,14 +385,23 @@ func RunAblationReplacement(w io.Writer, scale float64) []AblationPolicyRow {
 		}
 		return float64(d.Ops) * p.Cfg.FreqGHz * 1e9 / float64(cyc) / 1e6
 	}
-	var rows []AblationPolicyRow
+	var jobs []harness.Job
 	for _, pol := range []cache.ReplacementPolicy{cache.PolicySRRIP, cache.PolicyLRU} {
-		rows = append(rows, AblationPolicyRow{
-			Policy:      pol,
-			MovedMops:   run(pol, true),
-			ControlMops: run(pol, false),
+		pol := pol
+		name := "abl-policy/" + pol.String()
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-policy", Seed: seed,
+			Fn: func() (any, error) {
+				return AblationPolicyRow{
+					Policy:      pol,
+					MovedMops:   run(pol, true, seed),
+					ControlMops: run(pol, false, seed),
+				}, nil
+			},
 		})
 	}
+	rows := runJobs[AblationPolicyRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — replacement policy vs mask squatting (tenant shuffled off the DDIO ways)\n")
 		fmt.Fprintf(w, "%8s %12s %14s %10s\n", "policy", "moved Mops", "control Mops", "ratio")
@@ -391,14 +433,14 @@ func RunAblationStorage(w io.Writer, scale float64) []AblationStorageRow {
 	if scale == 0 {
 		scale = 100
 	}
-	run := func(iat bool) AblationStorageRow {
+	run := func(iat bool, seed int64) AblationStorageRow {
 		p := sim.NewPlatform(sim.XeonGold6140(scale))
 		cfg := nvme.DefaultConfig("ssd0")
 		cfg.BandwidthGBps /= scale // device bandwidth is a rate: scale it
 		dev := nvme.New(cfg, 1, p.DDIO, p.Alloc)
 		dev.QP(0).ConsumerCore = 0
 		p.AddMicrotickHook(dev.Tick)
-		srv := workload.NewSPDKServer(dev, 0, 64, 128<<10, p.Alloc, 7)
+		srv := workload.NewSPDKServer(dev, 0, 64, 128<<10, p.Alloc, 7+seed)
 		mustMask(p, 1, cache.ContiguousMask(0, 2))
 		mustTenant(p, &sim.Tenant{
 			Name: "spdk", Cores: []int{0}, CLOS: 1,
@@ -431,7 +473,20 @@ func RunAblationStorage(w io.Writer, scale float64) []AblationStorageRow {
 			DDIOWays:   p.RDT.DDIOMask().Count(),
 		}
 	}
-	rows := []AblationStorageRow{run(false), run(true)}
+	var jobs []harness.Job
+	for _, mode := range []struct {
+		name string
+		iat  bool
+	}{{"baseline", false}, {"iat", true}} {
+		mode := mode
+		name := "abl-storage/" + mode.name
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-storage", Seed: seed,
+			Fn: func() (any, error) { return run(mode.iat, seed), nil },
+		})
+	}
+	rows := runJobs[AblationStorageRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — storage Leaky DMA: SPDK server, 64 x 128KB reads in flight\n")
 		fmt.Fprintf(w, "%10s %14s %10s %12s %12s %6s\n", "mode", "DDIOmiss/s", "mem GB/s", "IOPS", "lat(ns)", "dWays")
@@ -462,7 +517,7 @@ func RunAblationRemoteSocket(w io.Writer, scale float64) []AblationRemoteRow {
 	if scale == 0 {
 		scale = 100
 	}
-	run := func(consumer string) AblationRemoteRow {
+	run := func(consumer string, seed int64) AblationRemoteRow {
 		p := sim.NewPlatform(sim.XeonGold6140(scale))
 		if consumer == "remote" {
 			// Core 0 lives on socket 1, 60ns of UPI away from the
@@ -480,7 +535,7 @@ func RunAblationRemoteSocket(w io.Writer, scale float64) []AblationRemoteRow {
 			Workers: []sim.Worker{fwd},
 		})
 		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, 64)), 64,
-			pkt.NewFlowSet(1<<16, 0, 7), 42)
+			pkt.NewFlowSet(1<<16, 0, 7+uint64(seed)), 42+seed)
 		p.AttachGenerator(g, dev, 0)
 
 		p.Run(0.5e9)
@@ -496,7 +551,17 @@ func RunAblationRemoteSocket(w io.Writer, scale float64) []AblationRemoteRow {
 		}
 		return row
 	}
-	rows := []AblationRemoteRow{run("local"), run("remote"), run("socket-direct")}
+	var jobs []harness.Job
+	for _, consumer := range []string{"local", "remote", "socket-direct"} {
+		consumer := consumer
+		name := "abl-remote/" + consumer
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-remote", Seed: seed,
+			Fn: func() (any, error) { return run(consumer, seed), nil },
+		})
+	}
+	rows := runJobs[AblationRemoteRow](jobs)
 	// socket-direct == local in this model (the multi-socket NIC makes
 	// the consumer's socket the delivery target); keep the label so the
 	// output reads as the three deployment choices.
@@ -530,15 +595,15 @@ func RunSensitivity(w io.Writer, scale float64) []SensitivityRow {
 	if scale == 0 {
 		scale = 100
 	}
-	run := func(param, value string, mod func(*core.Params)) SensitivityRow {
-		s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500})
+	run := func(param, value string, mod func(*core.Params), seed int64) (SensitivityRow, error) {
+		s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500, Seed: seed})
 		params := core.DefaultParams()
 		params.IntervalNS = 0.2e9
 		params.ThresholdMissLowPerSec /= scale
 		mod(&params)
 		d, err := bridge.NewIAT(s.P, params, core.Options{})
 		if err != nil {
-			panic(err)
+			return SensitivityRow{}, err
 		}
 		s.P.Run(2.4e9)
 		win := Measure(s.P, 0.8e9)
@@ -550,19 +615,33 @@ func RunSensitivity(w io.Writer, scale float64) []SensitivityRow {
 			MemGBps:    win.MemGBps() * scale,
 			Unstable:   unstable,
 			FinalWays:  s.P.RDT.DDIOMask().Count(),
-		}
+		}, nil
 	}
-	rows := []SensitivityRow{
-		run("defaults", "-", func(p *core.Params) {}),
-		run("stable-thresh", "1%", func(p *core.Params) { p.ThresholdStable = 0.01 }),
-		run("stable-thresh", "10%", func(p *core.Params) { p.ThresholdStable = 0.10 }),
-		run("interval", "100ms", func(p *core.Params) { p.IntervalNS = 0.1e9 }),
-		run("interval", "500ms", func(p *core.Params) { p.IntervalNS = 0.5e9 }),
-		run("miss-low", "0.3M/s", func(p *core.Params) { p.ThresholdMissLowPerSec = 0.3e6 / scale }),
-		run("miss-low", "3M/s", func(p *core.Params) { p.ThresholdMissLowPerSec = 3e6 / scale }),
-		run("ddio-max", "4", func(p *core.Params) { p.DDIOWaysMax = 4 }),
-		run("ddio-max", "8", func(p *core.Params) { p.DDIOWaysMax = 8 }),
+	variants := []struct {
+		param, value string
+		mod          func(*core.Params)
+	}{
+		{"defaults", "-", func(p *core.Params) {}},
+		{"stable-thresh", "1%", func(p *core.Params) { p.ThresholdStable = 0.01 }},
+		{"stable-thresh", "10%", func(p *core.Params) { p.ThresholdStable = 0.10 }},
+		{"interval", "100ms", func(p *core.Params) { p.IntervalNS = 0.1e9 }},
+		{"interval", "500ms", func(p *core.Params) { p.IntervalNS = 0.5e9 }},
+		{"miss-low", "0.3M/s", func(p *core.Params) { p.ThresholdMissLowPerSec = 0.3e6 / scale }},
+		{"miss-low", "3M/s", func(p *core.Params) { p.ThresholdMissLowPerSec = 3e6 / scale }},
+		{"ddio-max", "4", func(p *core.Params) { p.DDIOWaysMax = 4 }},
+		{"ddio-max", "8", func(p *core.Params) { p.DDIOWaysMax = 8 }},
 	}
+	var jobs []harness.Job
+	for _, v := range variants {
+		v := v
+		name := fmt.Sprintf("abl-sens/%s=%s", v.param, v.value)
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-sens", Seed: seed,
+			Fn: func() (any, error) { return run(v.param, v.value, v.mod, seed) },
+		})
+	}
+	rows := runJobs[SensitivityRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Sensitivity — IAT parameters on the Leaky DMA scenario (1.5KB)\n")
 		fmt.Fprintf(w, "%14s %8s %14s %10s %10s %6s\n", "param", "value", "DDIOmiss/s", "mem GB/s", "unstable", "dWays")
@@ -602,45 +681,54 @@ func RunAblationResQ(w io.Writer, scale float64) []AblationResQRow {
 	ddioBytes := uint64(2 * llcCfg.WayBytes())
 	resqRing := baseline.ResQRingEntries(ddioBytes, 40, nic.BufSize)
 
-	leak := func(ring int, iat bool) (missPS, memGBps float64) {
-		s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500, RingSize: ring})
+	leak := func(ring int, iat bool, seed int64) (missPS, memGBps float64, err error) {
+		s := NewLeakyScenario(LeakyOpts{Scale: scale, PktSize: 1500, RingSize: ring, Seed: seed})
 		if iat {
 			params := core.DefaultParams()
 			params.IntervalNS = 0.2e9
 			params.ThresholdMissLowPerSec /= scale
 			if _, err := bridge.NewIAT(s.P, params, core.Options{}); err != nil {
-				panic(err)
+				return 0, 0, err
 			}
 		}
 		s.P.Run(2.4e9)
 		win := Measure(s.P, 0.8e9)
-		return win.DDIOMissPS() * scale, win.MemGBps() * scale
+		return win.DDIOMissPS() * scale, win.MemGBps() * scale, nil
 	}
-	small := func(ring int) float64 {
+	// The RFC2544 probe calls runFig3Point directly (not RunFig3) so the
+	// nested sweep does not spawn a second harness run inside this job.
+	small := func(ring int, seed int64) float64 {
 		o := DefaultFig3Opts()
 		o.Scale = scale
-		o.Rings = []int{ring}
-		o.Sizes = []int{64}
-		return RunFig3(nil, o)[0].MaxMpps
+		return runFig3Point(64, ring, seed, o).MaxMpps
 	}
 
-	var rows []AblationResQRow
+	var jobs []harness.Job
 	for _, mode := range []string{"baseline", "resq", "iat"} {
-		var r AblationResQRow
-		r.Mode = mode
-		switch mode {
-		case "baseline":
-			r.DDIOMissPS, r.MemGBps = leak(1024, false)
-			r.SmallPktMpps = small(1024)
-		case "resq":
-			r.DDIOMissPS, r.MemGBps = leak(resqRing, false)
-			r.SmallPktMpps = small(resqRing)
-		case "iat":
-			r.DDIOMissPS, r.MemGBps = leak(1024, true)
-			r.SmallPktMpps = small(1024)
-		}
-		rows = append(rows, r)
+		mode := mode
+		name := "abl-resq/" + mode
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "abl-resq", Seed: seed,
+			Fn: func() (any, error) {
+				r := AblationResQRow{Mode: mode}
+				ring, iat := 1024, false
+				switch mode {
+				case "resq":
+					ring = resqRing
+				case "iat":
+					iat = true
+				}
+				var err error
+				if r.DDIOMissPS, r.MemGBps, err = leak(ring, iat, seed); err != nil {
+					return nil, err
+				}
+				r.SmallPktMpps = small(ring, seed)
+				return r, nil
+			},
+		})
 	}
+	rows := runJobs[AblationResQRow](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Ablation — ResQ (ring sizing, %d entries) vs IAT (DDIO sizing)\n", resqRing)
 		fmt.Fprintf(w, "%10s %14s %10s %16s\n", "mode", "DDIOmiss/s", "mem GB/s", "64B bursty Mpps")

@@ -66,6 +66,9 @@ type AppMixOpts struct {
 	RedisWorkload string
 	// MaxNS caps the co-run length.
 	MaxNS float64
+	// Seed offsets every RNG seed in the scenario (0 = the canonical
+	// seeds).
+	Seed int64
 }
 
 // AppMixResult carries every metric the three figures need.
@@ -149,14 +152,14 @@ func buildAppMix(o AppMixOpts) *appMix {
 			// The real target is armed after warmup (RunAppMix), so
 			// the measured window starts once the controller has
 			// converged.
-			m.rocks = workload.NewRocksDB(workload.DefaultRocksDBConfig(), w, 0, p.Alloc, 31)
+			m.rocks = workload.NewRocksDB(workload.DefaultRocksDBConfig(), w, 0, p.Alloc, 31+o.Seed)
 			pcWorker = m.rocks
 		} else {
 			prof, err := workload.SpecProfileByName(o.App)
 			if err != nil {
 				panic(err)
 			}
-			m.spec = workload.NewSpec(prof, p.Alloc, 0, 37)
+			m.spec = workload.NewSpec(prof, p.Alloc, 0, 37+o.Seed)
 			pcWorker = m.spec
 		}
 		m.pcCore = 6
@@ -166,8 +169,8 @@ func buildAppMix(o AppMixOpts) *appMix {
 			Workers:  []sim.Worker{pcWorker},
 		})
 		if !o.Solo {
-			be1 := workload.NewXMem(p.Alloc, 1<<20, 1<<20, 41)
-			be2 := workload.NewXMem(p.Alloc, 10<<20, 10<<20, 43)
+			be1 := workload.NewXMem(p.Alloc, 1<<20, 1<<20, 41+o.Seed)
+			be2 := workload.NewXMem(p.Alloc, 10<<20, 10<<20, 43+o.Seed)
 			mustTenant(p, &sim.Tenant{
 				Name: "be-xmem-1m", Cores: []int{7}, CLOS: mixCLOSBE1,
 				Priority: sim.BestEffort, Workers: []sim.Worker{be1},
@@ -246,13 +249,13 @@ func buildRedis(m *appMix, o AppMixOpts) {
 		if err != nil {
 			panic(err)
 		}
-		gen := ycsb.NewGenerator(w, workload.DefaultKVSConfig().Records, int64(61+i))
-		flows := pkt.NewFlowSet(8, uint16(i), uint64(71+i)) // 8 client threads
+		gen := ycsb.NewGenerator(w, workload.DefaultKVSConfig().Records, int64(61+i)+o.Seed)
+		flows := pkt.NewFlowSet(8, uint16(i), uint64(71+i)+uint64(o.Seed)) // 8 client threads
 		rate := o.RedisRatePPS
 		if rate == 0 {
 			rate = 8e6 // injection cap; the closed-loop window sets the load
 		}
-		g := tgen.NewGenerator(p.GeneratorRate(rate), 128, flows, int64(81+i))
+		g := tgen.NewGenerator(p.GeneratorRate(rate), 128, flows, int64(81+i)+o.Seed)
 		// YCSB clients are closed-loop with enough outstanding requests (8
 		// threads x a deep pipeline per generator machine, Sec. VI-C) to
 		// keep the serving pipeline at capacity, so latency degradation
@@ -301,8 +304,8 @@ func buildFastClick(m *appMix, o AppMixOpts) {
 				Priority: sim.PerformanceCritical, IsIO: true,
 				Workers: []sim.Worker{nf},
 			})
-			fs := pkt.NewFlowSet(flows, uint16(idx), uint64(90+idx))
-			g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(20, 1500)), 1500, fs, int64(95+idx))
+			fs := pkt.NewFlowSet(flows, uint16(idx), uint64(90+idx)+uint64(o.Seed))
+			g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(20, 1500)), 1500, fs, int64(95+idx)+o.Seed)
 			p.AttachGenerator(g, dev, v)
 		}
 	}

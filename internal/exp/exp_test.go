@@ -13,10 +13,21 @@ import (
 // checks the qualitative result the paper reports. The full-size runs live
 // behind cmd/experiments and the repository-root benchmarks.
 
-func TestFig3RingSizeMatters(t *testing.T) {
+// skipHeavy skips the full-physics integration tests in -short mode and
+// under the race detector (see race_on_test.go); the -race invocation
+// still runs the harness-concurrency tests in runner_test.go.
+func skipHeavy(t *testing.T) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("integration test")
 	}
+	if raceEnabled {
+		t.Skip("full-physics integration test: too slow under -race")
+	}
+}
+
+func TestFig3RingSizeMatters(t *testing.T) {
+	skipHeavy(t)
 	o := DefaultFig3Opts()
 	o.Rings = []int{64, 1024}
 	o.Sizes = []int{64}
@@ -32,9 +43,7 @@ func TestFig3RingSizeMatters(t *testing.T) {
 }
 
 func TestFig4OverlapHurts(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	o := DefaultFig4Opts()
 	o.WorkingSets = []int{4}
 	o.WarmNS, o.MeasureNS = 0.4e9, 0.4e9
@@ -51,9 +60,7 @@ func TestFig4OverlapHurts(t *testing.T) {
 }
 
 func TestFig8IATReducesLeak(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	o := DefaultFig8Opts()
 	o.Sizes = []int{1500}
 	rows := RunFig8(io.Discard, o)
@@ -77,9 +84,7 @@ func TestFig8IATReducesLeak(t *testing.T) {
 }
 
 func TestFig9IATGrowsStack(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	o := DefaultFig9Opts()
 	o.FlowSteps = []int{1, 100000}
 	o.PlateauNS, o.MeasureNS = 1.2e9, 0.4e9
@@ -105,9 +110,7 @@ func TestFig9IATGrowsStack(t *testing.T) {
 }
 
 func TestFig10IATBeatsCoreOnlyInPhase3(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	o := DefaultFig10Opts()
 	o.Sizes = []int{1500}
 	o.Phase1NS, o.Phase2NS, o.Phase3NS = 1e9, 3e9, 3e9
@@ -137,9 +140,7 @@ func TestFig10IATBeatsCoreOnlyInPhase3(t *testing.T) {
 }
 
 func TestFig11SeriesShowsShuffle(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	o := DefaultFig10Opts()
 	o.Phase1NS, o.Phase2NS, o.Phase3NS = 1e9, 2e9, 2e9
 	series := RunFig11(io.Discard, o)
@@ -157,9 +158,7 @@ func TestFig11SeriesShowsShuffle(t *testing.T) {
 }
 
 func TestFig15OverheadScalesWithCores(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	o := DefaultFig15Opts()
 	o.TenantCounts = []int{1, 8}
 	o.CoresPer = []int{1}
@@ -184,9 +183,7 @@ func TestFig15OverheadScalesWithCores(t *testing.T) {
 }
 
 func TestAppMixSoloAndCorun(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	solo := RunAppMix(AppMixOpts{Net: "redis", App: "rocksdb:C", Solo: true, TargetOps: 20000})
 	if solo.ExecNS <= 0 {
 		t.Fatal("solo run did not finish")
@@ -202,9 +199,7 @@ func TestAppMixSoloAndCorun(t *testing.T) {
 }
 
 func TestAppMixFastClick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	r := RunAppMix(AppMixOpts{Net: "fastclick", App: "gcc", Placement: PlaceNone,
 		TargetInstr: 1 << 62, MaxNS: 1.5e9})
 	if r.NFPPS <= 0 {
@@ -221,9 +216,7 @@ func TestTablesPrint(t *testing.T) {
 }
 
 func TestAblationMechanisms(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationMechanisms(io.Discard, 100)
 	byName := map[string]AblationMechRow{}
 	for _, r := range rows {
@@ -239,9 +232,7 @@ func TestAblationMechanisms(t *testing.T) {
 }
 
 func TestAblationDDIOExtHeaderOnlyTradeoff(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationDDIOExt(io.Discard, 100)
 	byName := map[string]AblationDDIOExtRow{}
 	for _, r := range rows {
@@ -263,9 +254,7 @@ func TestAblationDDIOExtHeaderOnlyTradeoff(t *testing.T) {
 }
 
 func TestAblationMBAOrdersLatency(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationMBA(io.Discard, 100)
 	if !(rows[0].PCLatNS > rows[1].PCLatNS && rows[1].PCLatNS > rows[2].PCLatNS) {
 		t.Fatalf("PC latency not monotone in BE throttle: %+v", rows)
@@ -276,9 +265,7 @@ func TestAblationMBAOrdersLatency(t *testing.T) {
 }
 
 func TestAblationGrowthBothConverge(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationGrowth(io.Discard, 100)
 	for _, r := range rows {
 		if r.ConvergeNS == 0 {
@@ -291,9 +278,7 @@ func TestAblationGrowthBothConverge(t *testing.T) {
 }
 
 func TestAblationReplacementSquatting(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationReplacement(io.Discard, 100)
 	var srrip, lru AblationPolicyRow
 	for _, r := range rows {
@@ -316,9 +301,7 @@ func TestAblationReplacementSquatting(t *testing.T) {
 }
 
 func TestAblationStorageLeak(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationStorage(io.Discard, 100)
 	base, iat := rows[0], rows[1]
 	if base.DDIOMissPS == 0 {
@@ -336,9 +319,7 @@ func TestAblationStorageLeak(t *testing.T) {
 }
 
 func TestAblationRemoteSocketPenalty(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationRemoteSocket(io.Discard, 100)
 	var local, remote, direct AblationRemoteRow
 	for _, r := range rows {
@@ -363,9 +344,7 @@ func TestAblationRemoteSocketPenalty(t *testing.T) {
 }
 
 func TestSensitivityOutcomeRobust(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunSensitivity(io.Discard, 100)
 	baseMem := rows[0].MemGBps
 	baselineScenario := 2.2 // no-controller memory bandwidth on this scenario
@@ -383,9 +362,7 @@ func TestSensitivityOutcomeRobust(t *testing.T) {
 }
 
 func TestAblationResQTradeoff(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
+	skipHeavy(t)
 	rows := RunAblationResQ(io.Discard, 100)
 	byMode := map[string]AblationResQRow{}
 	for _, r := range rows {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"iatsim/internal/cache"
+	"iatsim/internal/harness"
 	"iatsim/internal/nic"
 	"iatsim/internal/pkt"
 	"iatsim/internal/sim"
@@ -61,12 +62,19 @@ func DefaultFig3Opts() Fig3Opts {
 // but collapses small-packet throughput — the reason ResQ-style buffer
 // sizing is not a panacea.
 func RunFig3(w io.Writer, o Fig3Opts) []Fig3Row {
-	var rows []Fig3Row
+	var jobs []harness.Job
 	for _, size := range o.Sizes {
 		for _, ring := range o.Rings {
-			rows = append(rows, runFig3Point(size, ring, o))
+			size, ring := size, ring
+			name := fmt.Sprintf("fig3/pkt=%d/ring=%d", size, ring)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig3", Seed: seed,
+				Fn: func() (any, error) { return runFig3Point(size, ring, seed, o), nil },
+			})
 		}
 	}
+	rows := runJobs[Fig3Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 3 — RFC2544 zero-drop throughput of l3fwd vs Rx ring size\n")
 		fmt.Fprintf(w, "%8s %9s %12s %14s %7s\n", "pkt(B)", "ring", "max Mpps", "line-rate Mpps", "trials")
@@ -78,7 +86,7 @@ func RunFig3(w io.Writer, o Fig3Opts) []Fig3Row {
 	return rows
 }
 
-func runFig3Point(size, ring int, o Fig3Opts) Fig3Row {
+func runFig3Point(size, ring int, seed int64, o Fig3Opts) Fig3Row {
 	line := tgen.LineRatePPS(40, size)
 	trial := func(ratePPS float64) (uint64, float64) {
 		p := sim.NewPlatform(sim.XeonGold6140(o.Scale))
@@ -92,8 +100,8 @@ func runFig3Point(size, ring int, o Fig3Opts) Fig3Row {
 			Priority: sim.PerformanceCritical, IsIO: true,
 			Workers: []sim.Worker{fwd},
 		})
-		flows := pkt.NewFlowSet(o.Flows, 0, 7)
-		g := tgen.NewGenerator(p.GeneratorRate(ratePPS), size, flows, 42)
+		flows := pkt.NewFlowSet(o.Flows, 0, 7+uint64(seed))
+		g := tgen.NewGenerator(p.GeneratorRate(ratePPS), size, flows, 42+seed)
 		duty := ratePPS / line
 		if duty < 1 {
 			g.Burst = &tgen.Burst{PeriodNS: o.BurstPeriodNS, Duty: duty}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"iatsim/internal/cache"
+	"iatsim/internal/harness"
 	"iatsim/internal/nic"
 	"iatsim/internal/pkt"
 	"iatsim/internal/sim"
@@ -51,12 +52,23 @@ func DefaultFig4Opts() Fig4Opts {
 // ways, the supposedly isolated X-Mem loses throughput and latency even
 // though no core shares its ways.
 func RunFig4(w io.Writer, o Fig4Opts) []Fig4Row {
-	var rows []Fig4Row
+	var jobs []harness.Job
 	for _, ws := range o.WorkingSets {
 		for _, overlap := range []bool{false, true} {
-			rows = append(rows, runFig4Point(ws, overlap, o))
+			ws, overlap := ws, overlap
+			kind := "dedicated"
+			if overlap {
+				kind = "ddio-ovlp"
+			}
+			name := fmt.Sprintf("fig4/ws=%dMB/%s", ws, kind)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig4", Seed: seed,
+				Fn: func() (any, error) { return runFig4Point(ws, overlap, seed, o), nil },
+			})
 		}
 	}
+	rows := runJobs[Fig4Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 4 — Latent Contender: X-Mem with dedicated vs DDIO-overlapped ways\n")
 		fmt.Fprintf(w, "%7s %9s %10s %12s\n", "WS(MB)", "ways", "Mops/s", "avg lat(ns)")
@@ -71,7 +83,7 @@ func RunFig4(w io.Writer, o Fig4Opts) []Fig4Row {
 	return rows
 }
 
-func runFig4Point(wsMB int, overlap bool, o Fig4Opts) Fig4Row {
+func runFig4Point(wsMB int, overlap bool, seed int64, o Fig4Opts) Fig4Row {
 	p := sim.NewPlatform(sim.XeonGold6140(o.Scale))
 	ways := p.Cfg.Hier.LLC.Ways
 
@@ -86,7 +98,7 @@ func runFig4Point(wsMB int, overlap bool, o Fig4Opts) Fig4Row {
 		Workers: []sim.Worker{fwd},
 	})
 
-	xmem := workload.NewXMem(p.Alloc, 16<<20, uint64(wsMB)<<20, 9)
+	xmem := workload.NewXMem(p.Alloc, 16<<20, uint64(wsMB)<<20, 9+seed)
 	xmask := cache.ContiguousMask(2, 2) // dedicated ways 2-3
 	if overlap {
 		xmask = cache.ContiguousMask(ways-2, 2) // the DDIO ways
@@ -98,8 +110,8 @@ func runFig4Point(wsMB int, overlap bool, o Fig4Opts) Fig4Row {
 		Workers:  []sim.Worker{xmem},
 	})
 
-	flows := pkt.NewFlowSet(1<<20, 0, 7)
-	g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, o.PktSize)), o.PktSize, flows, 42)
+	flows := pkt.NewFlowSet(1<<20, 0, 7+uint64(seed))
+	g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, o.PktSize)), o.PktSize, flows, 42+seed)
 	p.AttachGenerator(g, dev, 0)
 
 	p.Run(o.WarmNS)

@@ -6,6 +6,7 @@ import (
 
 	"iatsim/internal/bridge"
 	"iatsim/internal/core"
+	"iatsim/internal/harness"
 )
 
 // Fig8Row is one point of Fig. 8: system behaviour for one packet size under
@@ -51,12 +52,19 @@ func DefaultFig8Opts() Fig8Opts {
 // and miss rates (Figs. 8a/8b), memory bandwidth (8c), and OVS IPC and
 // cycles-per-packet (8d).
 func RunFig8(w io.Writer, o Fig8Opts) []Fig8Row {
-	var rows []Fig8Row
+	var jobs []harness.Job
 	for _, size := range o.Sizes {
 		for _, mode := range []string{"baseline", "iat"} {
-			rows = append(rows, runFig8Point(size, mode, o))
+			size, mode := size, mode
+			name := fmt.Sprintf("fig8/pkt=%d/%s", size, mode)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig8", Seed: seed,
+				Fn: func() (any, error) { return runFig8Point(size, mode, seed, o), nil },
+			})
 		}
 	}
+	rows := runJobs[Fig8Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 8 — Leaky DMA: 2x testpmd via OVS, line rate, baseline vs IAT\n")
 		fmt.Fprintf(w, "%8s %9s %12s %12s %9s %8s %9s %6s %-10s\n",
@@ -69,8 +77,8 @@ func RunFig8(w io.Writer, o Fig8Opts) []Fig8Row {
 	return rows
 }
 
-func runFig8Point(size int, mode string, o Fig8Opts) Fig8Row {
-	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: size})
+func runFig8Point(size int, mode string, seed int64, o Fig8Opts) Fig8Row {
+	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: size, Seed: seed})
 	var daemon *core.Daemon
 	if mode == "iat" {
 		params := core.DefaultParams()

@@ -6,6 +6,7 @@ import (
 
 	"iatsim/internal/bridge"
 	"iatsim/internal/core"
+	"iatsim/internal/harness"
 	"iatsim/internal/pkt"
 )
 
@@ -46,10 +47,19 @@ func DefaultFig9Opts() Fig9Opts {
 // ways in the baseline; IAT detects the IPC drop + LLC miss growth and
 // grants the software stack more ways.
 func RunFig9(w io.Writer, o Fig9Opts) []Fig9Row {
-	var rows []Fig9Row
+	// One job per mode: each ramp is a single time series (the flow
+	// steps within it are deliberately path-dependent).
+	var jobs []harness.Job
 	for _, mode := range []string{"baseline", "iat"} {
-		rows = append(rows, runFig9Ramp(mode, o)...)
+		mode := mode
+		name := "fig9/ramp/" + mode
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "fig9", Seed: seed,
+			Fn: func() (any, error) { return runFig9Ramp(mode, seed, o), nil },
+		})
 	}
+	rows := runJobs[Fig9Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 9 — flow scaling: 64B line rate through OVS, flow table ramp\n")
 		fmt.Fprintf(w, "%9s %9s %12s %8s %9s %8s\n", "flows", "mode", "OVSmiss/s", "OVS IPC", "OVS CPP", "OVSways")
@@ -61,14 +71,14 @@ func RunFig9(w io.Writer, o Fig9Opts) []Fig9Row {
 	return rows
 }
 
-func runFig9Ramp(mode string, o Fig9Opts) []Fig9Row {
+func runFig9Ramp(mode string, seed int64, o Fig9Opts) []Fig9Row {
 	maxFlows := o.FlowSteps[len(o.FlowSteps)-1]
-	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: 64, Flows: maxFlows})
+	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: 64, Flows: maxFlows, Seed: seed})
 	// Start the ramp from the first step.
 	setFlows := func(n int) {
 		s.OVS.SetFlows(2 * n) // two NICs' flows land in one classifier
 		for i, g := range s.Gens {
-			g.Flows = pkt.NewFlowSet(n, uint16(i), uint64(100+i))
+			g.Flows = pkt.NewFlowSet(n, uint16(i), uint64(100+i)+uint64(seed))
 		}
 	}
 	if mode == "iat" {

@@ -8,6 +8,7 @@ import (
 	"iatsim/internal/bridge"
 	"iatsim/internal/cache"
 	"iatsim/internal/core"
+	"iatsim/internal/harness"
 	"iatsim/internal/nic"
 	"iatsim/internal/pkt"
 	"iatsim/internal/sim"
@@ -25,7 +26,7 @@ type latentScenario struct {
 	BEs [2]*workload.XMem
 }
 
-func newLatentScenario(scale float64, pktSize int) *latentScenario {
+func newLatentScenario(scale float64, pktSize int, seed int64) *latentScenario {
 	p := sim.NewPlatform(sim.XeonGold6140(scale))
 	s := &latentScenario{P: p}
 	ways := p.Cfg.Hier.LLC.Ways
@@ -42,14 +43,14 @@ func newLatentScenario(scale float64, pktSize int) *latentScenario {
 			Priority: sim.PerformanceCritical, IsIO: true,
 			Workers: []sim.Worker{fwd},
 		})
-		flows := pkt.NewFlowSet(1, uint16(i), uint64(50+i))
-		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, pktSize)), pktSize, flows, int64(42+i))
+		flows := pkt.NewFlowSet(1, uint16(i), uint64(50+i)+uint64(seed))
+		g := tgen.NewGenerator(p.GeneratorRate(tgen.LineRatePPS(40, pktSize)), pktSize, flows, int64(42+i)+seed)
 		p.AttachGenerator(g, dev, 0)
 	}
 
 	// X-Mem containers 2 and 3 (BE) and 4 (PC), 2MB working sets.
 	for i := 0; i < 2; i++ {
-		x := workload.NewXMem(p.Alloc, 4<<20, 2<<20, int64(11+i))
+		x := workload.NewXMem(p.Alloc, 4<<20, 2<<20, int64(11+i)+seed)
 		s.BEs[i] = x
 		clos := 2 + i
 		mustMask(p, clos, cache.ContiguousMask(3+2*i, 2))
@@ -59,7 +60,7 @@ func newLatentScenario(scale float64, pktSize int) *latentScenario {
 			Workers:  []sim.Worker{x},
 		})
 	}
-	s.C4 = workload.NewXMem(p.Alloc, 16<<20, 2<<20, 17)
+	s.C4 = workload.NewXMem(p.Alloc, 16<<20, 2<<20, 17+seed)
 	mustMask(p, 4, cache.ContiguousMask(7, 2))
 	mustTenant(p, &sim.Tenant{
 		Name: "container4", Cores: []int{4}, CLOS: 4,
@@ -128,13 +129,22 @@ func DefaultFig10Opts() Fig10Opts {
 // I/O-iso and IAT (with DDIO way adjustment disabled, per the paper's
 // footnote 3), across packet sizes, in the two phases of the experiment.
 func RunFig10(w io.Writer, o Fig10Opts) []Fig10Row {
-	var rows []Fig10Row
+	var jobs []harness.Job
 	for _, size := range o.Sizes {
 		for _, mode := range o.Modes {
-			r, _ := runFig10Point(size, mode, o, nil)
-			rows = append(rows, r)
+			size, mode := size, mode
+			name := fmt.Sprintf("fig10/pkt=%d/%s", size, mode)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig10", Seed: seed,
+				Fn: func() (any, error) {
+					r, _ := runFig10Point(size, mode, seed, o, nil)
+					return r, nil
+				},
+			})
 		}
 	}
+	rows := runJobs[Fig10Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 10 — Latent Contender: container-4 X-Mem, phases 2 (WS=10MB) and 3 (DDIO=4 ways)\n")
 		fmt.Fprintf(w, "%8s %10s %10s %12s %10s %12s\n", "pkt(B)", "mode", "P2 Mops/s", "P2 lat(ns)", "P3 Mops/s", "P3 lat(ns)")
@@ -159,8 +169,8 @@ type Fig11Sample struct {
 
 // runFig10Point runs one cell; when series is non-nil it is filled with
 // 100ms samples (Fig. 11).
-func runFig10Point(size int, mode string, o Fig10Opts, series *[]Fig11Sample) (Fig10Row, []Fig11Sample) {
-	s := newLatentScenario(o.Scale, size)
+func runFig10Point(size int, mode string, seed int64, o Fig10Opts, series *[]Fig11Sample) (Fig10Row, []Fig11Sample) {
+	s := newLatentScenario(o.Scale, size, seed)
 	p := s.P
 	var daemon *core.Daemon
 	switch mode {
@@ -256,8 +266,17 @@ func stateOf(d *core.Daemon) string {
 // RunFig11 reproduces Fig. 11: the 1.5KB-packet IAT run of Fig. 10 as a
 // time series of LLC way allocation and container-4 LLC misses.
 func RunFig11(w io.Writer, o Fig10Opts) []Fig11Sample {
-	var series []Fig11Sample
-	runFig10Point(1500, "iat", o, &series)
+	name := "fig11/pkt=1500/iat"
+	seed := jobSeed(name)
+	jobs := []harness.Job{{
+		Name: name, Figure: "fig11", Seed: seed,
+		Fn: func() (any, error) {
+			var s []Fig11Sample
+			runFig10Point(1500, "iat", seed, o, &s)
+			return s, nil
+		},
+	}}
+	series := runJobs[Fig11Sample](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 11 — IAT dynamics over time (1.5KB packets)\n")
 		fmt.Fprintf(w, "%8s %12s %12s %12s %12s %12s %-10s\n",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"iatsim/internal/harness"
 	"iatsim/internal/ycsb"
 )
 
@@ -65,12 +66,19 @@ func AllFig12Apps() []string {
 // applications co-running with Redis (aggregation) or a FastClick chain
 // (slicing), baseline placement range vs IAT.
 func RunFig12(w io.Writer, o Fig12Opts) []Fig12Row {
-	var rows []Fig12Row
+	var jobs []harness.Job
 	for _, net := range o.Nets {
 		for _, app := range o.Apps {
-			rows = append(rows, runFig12Cell(net, app, o))
+			net, app := net, app
+			name := fmt.Sprintf("fig12/%s/%s", net, app)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig12", Seed: seed,
+				Fn: func() (any, error) { return runFig12Cell(net, app, seed, o), nil },
+			})
 		}
 	}
+	rows := runJobs[Fig12Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 12 — normalised execution time (co-run / solo)\n")
 		fmt.Fprintf(w, "%-10s %-12s %9s %9s %9s %9s\n", "net", "app", "solo(s)", "base-min", "base-max", "IAT")
@@ -82,12 +90,13 @@ func RunFig12(w io.Writer, o Fig12Opts) []Fig12Row {
 	return rows
 }
 
-func runFig12Cell(net, app string, o Fig12Opts) Fig12Row {
+func runFig12Cell(net, app string, seed int64, o Fig12Opts) Fig12Row {
 	base := AppMixOpts{
 		Scale: o.Scale, Net: net, App: app,
 		IntervalNS:  o.IntervalNS,
 		TargetInstr: o.TargetInstr,
 		TargetOps:   o.TargetOps,
+		Seed:        seed,
 	}
 	soloOpts := base
 	soloOpts.Solo = true
@@ -141,11 +150,19 @@ func RunFig13(w io.Writer, o Fig12Opts) []Fig13Row {
 	if len(o.Apps) > 0 && o.Apps[0] == "quick" {
 		workloads = []string{"A", "C"}
 	}
+	var jobs []harness.Job
 	for _, net := range o.Nets {
 		for _, wl := range workloads {
-			rows = append(rows, runFig13Cell(net, wl, o))
+			net, wl := net, wl
+			name := fmt.Sprintf("fig13/%s/ycsb-%s", net, wl)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig13", Seed: seed,
+				Fn: func() (any, error) { return runFig13Cell(net, wl, seed, o), nil },
+			})
 		}
 	}
+	rows = runJobs[Fig13Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 13 — RocksDB normalised weighted latency (co-run / solo)\n")
 		fmt.Fprintf(w, "%-10s %-9s %9s %9s %9s\n", "net", "workload", "base-min", "base-max", "IAT")
@@ -176,11 +193,12 @@ func WeightedLatency(co, solo map[ycsb.Op]*ycsb.Histogram) float64 {
 	return acc / float64(total)
 }
 
-func runFig13Cell(net, wl string, o Fig12Opts) Fig13Row {
+func runFig13Cell(net, wl string, seed int64, o Fig12Opts) Fig13Row {
 	base := AppMixOpts{
 		Scale: o.Scale, Net: net, App: "rocksdb:" + wl,
 		IntervalNS: o.IntervalNS,
 		TargetOps:  o.TargetOps,
+		Seed:       seed,
 	}
 	soloOpts := base
 	soloOpts.Solo = true
@@ -227,10 +245,17 @@ func RunFig14(w io.Writer, o Fig12Opts) []Fig14Row {
 	if len(o.Apps) > 0 && o.Apps[0] == "quick" {
 		workloads = []string{"A", "C"}
 	}
-	var rows []Fig14Row
+	var jobs []harness.Job
 	for _, wl := range workloads {
-		rows = append(rows, runFig14Cell(wl, o))
+		wl := wl
+		name := "fig14/redis/ycsb-" + wl
+		seed := jobSeed(name)
+		jobs = append(jobs, harness.Job{
+			Name: name, Figure: "fig14", Seed: seed,
+			Fn: func() (any, error) { return runFig14Cell(wl, seed, o), nil },
+		})
 	}
+	rows := runJobs[Fig14Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 14 — Redis under co-location (normalised to networking-solo)\n")
 		fmt.Fprintf(w, "%-9s %9s %9s %9s %9s %9s %9s %9s\n",
@@ -243,13 +268,14 @@ func RunFig14(w io.Writer, o Fig12Opts) []Fig14Row {
 	return rows
 }
 
-func runFig14Cell(wl string, o Fig12Opts) Fig14Row {
+func runFig14Cell(wl string, seed int64, o Fig12Opts) Fig14Row {
 	base := AppMixOpts{
 		Scale: o.Scale, Net: "redis", App: "mcf",
 		RedisWorkload: wl,
 		IntervalNS:    o.IntervalNS,
 		TargetInstr:   1 << 62, // mcf runs for the whole window
 		MaxNS:         3e9,     // fixed window: Redis metrics need equal spans
+		Seed:          seed,
 	}
 	soloOpts := base
 	soloOpts.NetOnly = true

@@ -8,6 +8,7 @@ import (
 	"iatsim/internal/bridge"
 	"iatsim/internal/cache"
 	"iatsim/internal/core"
+	"iatsim/internal/harness"
 	"iatsim/internal/sim"
 	"iatsim/internal/workload"
 )
@@ -54,15 +55,26 @@ func DefaultFig15Opts() Fig15Opts {
 // Stable iterations only poll; unstable iterations (forced by toggling the
 // tenants' working sets) also transition and re-allocate.
 func RunFig15(w io.Writer, o Fig15Opts) []Fig15Row {
-	var rows []Fig15Row
+	// These points measure host wall-clock time (the daemon code path
+	// is the artifact under test), so they are Exclusive: the harness
+	// drains the pool and runs each alone rather than letting
+	// concurrent simulations inflate the timings.
+	var jobs []harness.Job
 	for _, cper := range o.CoresPer {
 		for _, n := range o.TenantCounts {
 			if n*cper > 17 {
 				continue // the paper is bounded by its 18 cores too
 			}
-			rows = append(rows, runFig15Point(n, cper, o))
+			n, cper := n, cper
+			name := fmt.Sprintf("fig15/tenants=%d/cores=%d", n, cper)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "fig15", Seed: seed, Exclusive: true,
+				Fn: func() (any, error) { return runFig15Point(n, cper, seed, o), nil },
+			})
 		}
 	}
+	rows := runJobs[Fig15Row](jobs)
 	if w != nil {
 		fmt.Fprintf(w, "Fig 15 — IAT per-iteration execution time (wall clock)\n")
 		fmt.Fprintf(w, "%8s %10s %12s %12s\n", "tenants", "cores/ten", "stable(us)", "unstable(us)")
@@ -97,7 +109,7 @@ func (t *wsToggler) Tick(nowNS float64) {
 	}
 }
 
-func runFig15Point(tenants, coresPer int, o Fig15Opts) Fig15Row {
+func runFig15Point(tenants, coresPer int, seed int64, o Fig15Opts) Fig15Row {
 	build := func(toggle bool) (*sim.Platform, *core.Daemon) {
 		p := sim.NewPlatform(sim.XeonGold6140(o.Scale))
 		tog := &wsToggler{interval: o.IntervalNS}
@@ -108,7 +120,7 @@ func runFig15Point(tenants, coresPer int, o Fig15Opts) Fig15Row {
 			var workers []sim.Worker
 			for c := 0; c < coresPer; c++ {
 				id := t*coresPer + c
-				x := workload.NewXMem(p.Alloc, 8<<20, 256<<10, int64(100+id))
+				x := workload.NewXMem(p.Alloc, 8<<20, 256<<10, int64(100+id)+seed)
 				tog.xs = append(tog.xs, x)
 				cores = append(cores, id)
 				workers = append(workers, x)

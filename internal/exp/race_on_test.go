@@ -1,0 +1,10 @@
+//go:build race
+
+package exp
+
+// raceEnabled gates the full-physics integration tests: under the race
+// detector they exceed reasonable budgets (each simulates seconds of
+// platform time), and they exercise no concurrency of their own — the
+// harness's parallelism is covered by TestParallelRowsMatchSequential,
+// which does run under -race.
+const raceEnabled = true

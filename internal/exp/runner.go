@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"iatsim/internal/harness"
+)
+
+// Exec is the package-wide execution policy for the figure and ablation
+// runners: how many sweep points run concurrently, the base RNG seed,
+// and where progress and the run manifest go. The zero value is the
+// default: one worker per CPU, canonical seeds, no progress, no
+// manifest. Results are identical at any worker count (each point
+// builds its own platform; the harness reassembles rows in submission
+// order), so callers only set this to tune speed or observability.
+type Exec struct {
+	// Jobs bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Seed is the base RNG seed; 0 selects the canonical reproduction
+	// seeds (the committed results/ CSVs).
+	Seed int64
+	// Retries re-runs failed sweep points.
+	Retries int
+	// Progress, when non-nil, receives the harness's live status line.
+	Progress io.Writer
+	// Manifest, when non-nil, accumulates per-job timings and
+	// failures across runners.
+	Manifest *harness.Manifest
+}
+
+var (
+	execMu  sync.RWMutex
+	execCfg Exec
+)
+
+// SetExec installs the execution policy for subsequent runner calls
+// (cmd/experiments sets it once from its flags).
+func SetExec(e Exec) {
+	execMu.Lock()
+	execCfg = e
+	execMu.Unlock()
+}
+
+// CurrentExec returns the installed execution policy.
+func CurrentExec() Exec {
+	execMu.RLock()
+	defer execMu.RUnlock()
+	return execCfg
+}
+
+// jobSeed derives the seed for a named sweep point under the current
+// base seed (0 ⇒ 0: the scenarios use their historical constants).
+func jobSeed(name string) int64 {
+	return harness.DeriveSeed(CurrentExec().Seed, name)
+}
+
+// runJobs executes a job set under the current Exec policy and
+// collects the surviving rows in submission order. A job may return an
+// R or a []R (time-series runners). Failed jobs are reported on stderr
+// and in the manifest; their rows are skipped so one crashed point
+// cannot kill the whole regeneration.
+func runJobs[R any](jobs []harness.Job) []R {
+	e := CurrentExec()
+	rep := harness.Run(jobs, harness.Options{
+		Workers:  e.Jobs,
+		Retries:  e.Retries,
+		Progress: e.Progress,
+	})
+	if e.Manifest != nil {
+		e.Manifest.Append(rep)
+	}
+	var rows []R
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Failed() {
+			fmt.Fprintf(os.Stderr, "exp: job %s failed after %d attempt(s): %s\n",
+				res.Name, res.Attempts, firstLine(res.Err))
+			continue
+		}
+		if v, ok := res.Row.(R); ok {
+			rows = append(rows, v)
+		} else if vs, ok := res.Row.([]R); ok {
+			rows = append(rows, vs...)
+		}
+	}
+	return rows
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

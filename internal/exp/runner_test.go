@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"iatsim/internal/harness"
+)
+
+func TestRunJobsCollectsRowsAndSlices(t *testing.T) {
+	jobs := []harness.Job{
+		{Name: "a", Fn: func() (any, error) { return Fig3Row{PktSize: 64}, nil }},
+		{Name: "b", Fn: func() (any, error) { return nil, errors.New("nope") }},
+		{Name: "c", Fn: func() (any, error) {
+			return []Fig3Row{{PktSize: 128}, {PktSize: 256}}, nil
+		}},
+	}
+	rows := runJobs[Fig3Row](jobs)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (failed job skipped, slice flattened)", len(rows))
+	}
+	if rows[0].PktSize != 64 || rows[1].PktSize != 128 || rows[2].PktSize != 256 {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+}
+
+func TestRunJobsSurvivesPanickingPoint(t *testing.T) {
+	jobs := []harness.Job{
+		{Name: "crash", Fn: func() (any, error) { panic("simulated point crash") }},
+		{Name: "fine", Fn: func() (any, error) { return Fig3Row{PktSize: 1500}, nil }},
+	}
+	rows := runJobs[Fig3Row](jobs)
+	if len(rows) != 1 || rows[0].PktSize != 1500 {
+		t.Fatalf("crashed point took out the run: %+v", rows)
+	}
+}
+
+// TestParallelRowsMatchSequential is the tier-1 determinism check (run
+// it under -race too): one figure at 8 workers must produce rows equal
+// to the 1-worker run, with canonical and non-zero base seeds alike.
+func TestParallelRowsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	t.Cleanup(func() { SetExec(Exec{}) })
+	o := DefaultFig4Opts()
+	o.WorkingSets = []int{4, 8}
+	o.WarmNS, o.MeasureNS = 0.2e9, 0.2e9
+
+	for _, seed := range []int64{0, 7} {
+		SetExec(Exec{Jobs: 1, Seed: seed})
+		seq := RunFig4(io.Discard, o)
+		SetExec(Exec{Jobs: 8, Seed: seed})
+		par := RunFig4(io.Discard, o)
+		if len(seq) != 4 {
+			t.Fatalf("seed %d: rows = %d, want 4", seed, len(seq))
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("seed %d: jobs=8 diverged from jobs=1:\n seq: %+v\n par: %+v", seed, seq, par)
+		}
+	}
+}

@@ -47,6 +47,7 @@ type LeakyOpts struct {
 	Flows    int     // distinct flows per NIC (1 in Fig. 8, swept in Fig. 9)
 	RatePPS  float64 // offered rate per NIC (0 = line rate for PktSize)
 	RingSize int     // NIC ring entries (0 = 1024, the paper's default)
+	Seed     int64   // RNG seed offset (0 = the canonical seeds)
 }
 
 // NewLeakyScenario assembles the platform. Call Run/Measure on .P.
@@ -103,8 +104,8 @@ func NewLeakyScenario(o LeakyOpts) *LeakyScenario {
 		})
 	}
 	for i := 0; i < 2; i++ {
-		flows := pkt.NewFlowSet(o.Flows, uint16(i), uint64(100+i))
-		g := tgen.NewGenerator(p.GeneratorRate(o.RatePPS), o.PktSize, flows, int64(42+i))
+		flows := pkt.NewFlowSet(o.Flows, uint16(i), uint64(100+i)+uint64(o.Seed))
+		g := tgen.NewGenerator(p.GeneratorRate(o.RatePPS), o.PktSize, flows, int64(42+i)+o.Seed)
 		s.Gens[i] = g
 		p.AttachGenerator(g, s.Devs[i], 0)
 	}

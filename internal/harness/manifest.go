@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// RunOptions records how a regeneration run was invoked.
+type RunOptions struct {
+	Jobs      int      `json:"jobs"`
+	Seed      int64    `json:"seed"`
+	Retries   int      `json:"retries,omitempty"`
+	Selectors []string `json:"selectors,omitempty"`
+	Full      bool     `json:"full,omitempty"`
+}
+
+// Manifest is the per-run record written alongside the CSV export: run
+// identity, invocation options, and per-job timings and failures. The
+// manifest itself is *not* part of the determinism guarantee (it
+// carries wall-clock data); the experiment rows are.
+type Manifest struct {
+	RunID      string     `json:"run_id"`
+	StartedAt  time.Time  `json:"started_at"`
+	FinishedAt time.Time  `json:"finished_at"`
+	Options    RunOptions `json:"options"`
+	TotalJobs  int        `json:"total_jobs"`
+	Failures   int        `json:"failures"`
+	WallMS     float64    `json:"wall_ms"`
+	Jobs       []Result   `json:"jobs"`
+
+	mu sync.Mutex
+}
+
+// ManifestName is the file name Write uses inside its directory.
+const ManifestName = "manifest.json"
+
+// NewManifest starts a manifest for one regeneration run.
+func NewManifest(opts RunOptions) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		RunID:     fmt.Sprintf("exp-%s-%06x", now.UTC().Format("20060102-150405"), now.UnixNano()&0xFFFFFF),
+		StartedAt: now,
+		Options:   opts,
+	}
+}
+
+// Append folds one harness report into the manifest.
+func (m *Manifest) Append(rep *Report) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Jobs = append(m.Jobs, rep.Results...)
+	m.TotalJobs += len(rep.Results)
+	m.Failures += rep.Failures
+	m.WallMS += rep.WallMS
+}
+
+// Finish stamps the end time.
+func (m *Manifest) Finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.FinishedAt = time.Now()
+}
+
+// Write saves the manifest as dir/manifest.json (creating dir) and
+// returns the path.
+func (m *Manifest) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	data, err := json.MarshalIndent(m, "", "  ")
+	m.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ManifestName)
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest parses a manifest written by Write.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("harness: parse %s: %w", path, err)
+	}
+	return &m, nil
+}

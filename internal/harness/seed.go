@@ -1,0 +1,32 @@
+package harness
+
+// DeriveSeed maps a run's base seed and a job name to the job's seed.
+//
+// Base 0 is the canonical reproduction: every job gets seed 0, and the
+// scenarios fall back to their historical hard-coded seeds — so default
+// output is identical at any worker count and to the committed
+// results/ CSVs. Any other base gives each job a distinct seed that is
+// a pure function of (base, name): stable across worker counts, run
+// order, and processes.
+func DeriveSeed(base int64, name string) int64 {
+	if base == 0 {
+		return 0
+	}
+	// FNV-1a over the name, then a splitmix64 finalising mix with the
+	// base folded in.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := h + uint64(base)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 { // reserve 0 for "canonical seeds"
+		z = 1
+	}
+	return int64(z)
+}
