@@ -1,18 +1,36 @@
-# Developer entry points. Tier-1 is `make build test`; `make race` is the
-# supported race-detector invocation (the parallel harness is exercised by
+# Developer entry points. `make all` is the default gate: build, lint
+# (simlint + vet + gofmt), then test. `make race` is the supported
+# race-detector invocation (the parallel harness is exercised by
 # TestParallelRowsMatchSequential at 8 workers).
 
 GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: build vet test race smoke determinism scaling clean
+.PHONY: all build lint simlint vet fmtcheck test race smoke determinism scaling clean
+
+all: build lint test
 
 build:
 	$(GO) build ./...
 
+# lint enforces the determinism and hardware-model invariants (see
+# EXPERIMENTS.md "Determinism invariants and how they're enforced"):
+# simlint (detlint/maporder/msrlint), go vet, and a gofmt cleanliness
+# check. It must exit 0 at HEAD.
+lint: simlint vet fmtcheck
+
+simlint: build
+	$(GO) run ./cmd/simlint
+
 vet:
 	$(GO) vet ./...
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; \
+	fi
+	@echo "gofmt OK"
 
 test: build
 	$(GO) test ./...

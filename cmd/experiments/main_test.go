@@ -1,0 +1,37 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseSelectors pins the CLI selector contract: unknown selectors
+// are errors (exit 2 in main), -all expands to every figure and table,
+// and the normalised selector list recorded in the manifest is sorted.
+func TestParseSelectors(t *testing.T) {
+	if _, _, err := parseSelectors("8,99", "", false, false); err == nil {
+		t.Fatal("unknown figure 99 should be rejected")
+	}
+	if _, _, err := parseSelectors("", "7", false, false); err == nil {
+		t.Fatal("unknown table 7 should be rejected")
+	}
+
+	want, selectors, err := parseSelectors("8", "1", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want["fig8"] || !want["tab1"] || len(want) != 2 {
+		t.Fatalf("want = %v", want)
+	}
+	if !reflect.DeepEqual(selectors, []string{"fig8", "tab1"}) {
+		t.Fatalf("selectors = %v, want sorted [fig8 tab1]", selectors)
+	}
+
+	all, _, err := parseSelectors("", "", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(validFigs)+len(validTabs) {
+		t.Fatalf("-all expanded to %d selectors, want %d", len(all), len(validFigs)+len(validTabs))
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -33,30 +34,45 @@ import (
 )
 
 func main() {
-	tenantsPath := flag.String("tenants", "", "tenant description file (required)")
-	duration := flag.Float64("duration", 20, "simulated seconds to run")
-	interval := flag.Float64("interval", 1, "IAT polling interval in simulated seconds")
-	scale := flag.Float64("scale", 100, "simulation scale factor")
-	tracePath := flag.String("trace", "", "write a per-iteration CSV trace to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the daemon CLI: it parses args, assembles
+// the platform, runs the IAT loop, and prints every decision to stdout.
+// The output is deterministic for a given tenant file and flag set.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("iatd", flag.ContinueOnError)
+	tenantsPath := fs.String("tenants", "", "tenant description file (required)")
+	duration := fs.Float64("duration", 20, "simulated seconds to run")
+	interval := fs.Float64("interval", 1, "IAT polling interval in simulated seconds")
+	scale := fs.Float64("scale", 100, "simulation scale factor")
+	tracePath := fs.String("trace", "", "write a per-iteration CSV trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *tenantsPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return flag.ErrHelp
 	}
 	f, err := os.Open(*tenantsPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	entries, events, err := tenantfile.ParseWithEvents(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	p := sim.NewPlatform(sim.XeonGold6140(*scale))
 	xmems, err := build(p, entries)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	params := core.DefaultParams()
@@ -64,13 +80,13 @@ func main() {
 	params.ThresholdMissLowPerSec /= *scale
 	daemon, err := bridge.NewIAT(p, params, core.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var tracer *trace.Writer
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer func() {
 			if err := tracer.Flush(); err != nil {
@@ -85,21 +101,22 @@ func main() {
 			_ = tracer.Record(it)
 		}
 		if it.Stable {
-			fmt.Printf("[%7.2fs] %-10s stable (ddio=%v hit/s=%.2e miss/s=%.2e)\n",
+			fmt.Fprintf(stdout, "[%7.2fs] %-10s stable (ddio=%v hit/s=%.2e miss/s=%.2e)\n",
 				it.NowNS/1e9, it.State, it.DDIOMask, it.DDIOHitPS, it.DDIOMissPS)
 			return
 		}
-		fmt.Printf("[%7.2fs] %-10s %-28s ddio=%v masks=%v\n",
+		fmt.Fprintf(stdout, "[%7.2fs] %-10s %-28s ddio=%v masks=%v\n",
 			it.NowNS/1e9, it.State, it.Action, it.DDIOMask, it.Masks)
 	}
 
-	fmt.Printf("iatd: %d tenants, %d events, %d ways, interval %.2fs, running %.0fs of simulated time\n",
+	fmt.Fprintf(stdout, "iatd: %d tenants, %d events, %d ways, interval %.2fs, running %.0fs of simulated time\n",
 		len(entries), len(events), p.RDT.NumWays(), *interval, *duration)
-	runWithEvents(p, daemon, events, xmems, *duration*1e9)
+	runWithEvents(p, daemon, events, xmems, *duration*1e9, stdout)
 
 	total, unstable := daemon.Iterations()
-	fmt.Printf("iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
+	fmt.Fprintf(stdout, "iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
 		total, unstable, daemon.State(), p.RDT.DDIOMask())
+	return nil
 }
 
 // build assembles tenants and their workloads onto the platform, packing
@@ -149,7 +166,7 @@ func build(p *sim.Platform, entries []tenantfile.Entry) (map[string][]*workload.
 // runWithEvents advances the simulation, applying '@' events at their
 // scheduled times and notifying the daemon of phase changes.
 func runWithEvents(p *sim.Platform, daemon *core.Daemon, events []tenantfile.Event,
-	xmems map[string][]*workload.XMem, durNS float64) {
+	xmems map[string][]*workload.XMem, durNS float64, stdout io.Writer) {
 	sort.Slice(events, func(i, j int) bool { return events[i].AtNS < events[j].AtNS })
 	for _, ev := range events {
 		if ev.AtNS > p.NowNS() {
@@ -169,12 +186,12 @@ func runWithEvents(p *sim.Platform, daemon *core.Daemon, events []tenantfile.Eve
 				log.Printf("iatd: event ddio ways %d: %v", ev.Arg, err)
 				continue
 			}
-			fmt.Printf("[%7.2fs] event: DDIO ways -> %d\n", p.NowNS()/1e9, n)
+			fmt.Fprintf(stdout, "[%7.2fs] event: DDIO ways -> %d\n", p.NowNS()/1e9, n)
 		case ev.Action == "xmem-ws":
 			for _, x := range xmems[ev.Target] {
 				x.SetWorkingSet(uint64(ev.Arg) << 20)
 			}
-			fmt.Printf("[%7.2fs] event: %s working set -> %dMB\n", p.NowNS()/1e9, ev.Target, ev.Arg)
+			fmt.Fprintf(stdout, "[%7.2fs] event: %s working set -> %dMB\n", p.NowNS()/1e9, ev.Target, ev.Arg)
 			daemon.NotifyTenantsChanged()
 		}
 	}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeTenants is a two-tenant scenario: a line-rate forwarder (I/O) and
+// a cache-hungry batch job, with one scripted working-set event.
+const smokeTenants = `
+# name   cores  ways  priority  io   workload
+fwd0     0      2     pc        io   testpmd:1500
+batch    1      2     be        -    xmem:4
+@0.6s    batch  xmem-ws 8
+`
+
+// runSmoke executes one short daemon run and returns its full output.
+func runSmoke(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-tenants", path, "-duration", "1", "-interval", "0.2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// TestSmokeDeterministicRun is the iatd tier-1 smoke test: one short run
+// completes, reports its iterations, and two identical invocations print
+// byte-identical output (the repository's determinism guarantee applies
+// to the daemon CLI too).
+func TestSmokeDeterministicRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 1s of platform time")
+	}
+	first := runSmoke(t)
+	if !strings.Contains(first, "iatd: 2 tenants, 1 events") {
+		t.Fatalf("missing preamble in output:\n%s", first)
+	}
+	if !strings.Contains(first, "event: batch working set -> 8MB") {
+		t.Fatalf("scripted event did not fire:\n%s", first)
+	}
+	if !strings.Contains(first, "iatd: done;") {
+		t.Fatalf("run did not complete:\n%s", first)
+	}
+	second := runSmoke(t)
+	if first != second {
+		t.Fatalf("two identical runs diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestUsageErrors covers the CLI contract: a missing tenant file is a
+// usage error, not a crash.
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err != flag.ErrHelp {
+		t.Fatalf("missing -tenants: err = %v, want flag.ErrHelp", err)
+	}
+	if err := run([]string{"-tenants", "/nonexistent/tenants.conf"}, &out); err == nil {
+		t.Fatal("nonexistent tenant file should error")
+	}
+}

@@ -10,25 +10,51 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"iatsim/internal/exp"
 )
 
 func main() {
-	ring := flag.Int("ring", 1024, "Rx ring entries")
-	size := flag.Int("size", 64, "packet size in bytes")
-	flows := flag.Int("flows", 1<<20, "distinct flows in the traffic / flow table")
-	scale := flag.Float64("scale", 100, "simulation scale factor")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the CLI: one deterministic RFC 2544 search
+// for the given ring/packet-size/flow-count point.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rfc2544", flag.ContinueOnError)
+	ring := fs.Int("ring", 1024, "Rx ring entries")
+	size := fs.Int("size", 64, "packet size in bytes")
+	flows := fs.Int("flows", 1<<20, "distinct flows in the traffic / flow table")
+	scale := fs.Float64("scale", 100, "simulation scale factor")
+	warm := fs.Float64("warm", 0, "warmup per trial in simulated seconds (0 = default sweep setting)")
+	measure := fs.Float64("measure", 0, "measurement per trial in simulated seconds (0 = default sweep setting)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	o := exp.DefaultFig3Opts()
 	o.Scale = *scale
 	o.Flows = *flows
 	o.Rings = []int{*ring}
 	o.Sizes = []int{*size}
+	if *warm > 0 {
+		o.WarmNS = *warm * 1e9
+	}
+	if *measure > 0 {
+		o.MeasureNS = *measure * 1e9
+	}
 	rows := exp.RunFig3(nil, o)
 	r := rows[0]
-	fmt.Printf("l3fwd, %dB packets, %d-entry ring, %d flows:\n", r.PktSize, r.RingSize, *flows)
-	fmt.Printf("  max zero-drop rate: %.2f Mpps (line rate %.2f Mpps, %d trials)\n",
+	fmt.Fprintf(stdout, "l3fwd, %dB packets, %d-entry ring, %d flows:\n", r.PktSize, r.RingSize, *flows)
+	fmt.Fprintf(stdout, "  max zero-drop rate: %.2f Mpps (line rate %.2f Mpps, %d trials)\n",
 		r.MaxMpps, r.LineRateMpps, r.Trials)
+	return nil
 }

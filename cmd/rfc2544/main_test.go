@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeArgs is a deliberately small search: tiny ring, few flows, short
+// warm/measure windows, so the binary search converges in seconds.
+var smokeArgs = []string{
+	"-ring", "64", "-size", "64", "-flows", "4096",
+	"-warm", "0.05", "-measure", "0.1",
+}
+
+// TestSmokeDeterministicSearch is the rfc2544 tier-1 smoke test: one
+// short zero-drop search completes with a sane rate line, and two
+// identical invocations print byte-identical output.
+func TestSmokeDeterministicSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an RFC 2544 binary search")
+	}
+	search := func() string {
+		var out bytes.Buffer
+		if err := run(smokeArgs, &out); err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	first := search()
+	if !strings.Contains(first, "l3fwd, 64B packets, 64-entry ring, 4096 flows:") {
+		t.Fatalf("missing search header:\n%s", first)
+	}
+	if !strings.Contains(first, "max zero-drop rate:") {
+		t.Fatalf("missing result line:\n%s", first)
+	}
+	second := search()
+	if first != second {
+		t.Fatalf("two identical searches diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestBadFlags covers the CLI contract for unparsable flags.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-ring", "not-a-number"}, &out); err == nil {
+		t.Fatal("bad -ring value should error")
+	}
+}

@@ -1,0 +1,128 @@
+// Command simlint runs the repository's static-analysis suite: custom
+// analyzers (internal/lint) that enforce the determinism and
+// hardware-model invariants the reproduction's results depend on.
+//
+// Usage:
+//
+//	simlint                     # lint the enclosing module, exit 1 on findings
+//	simlint -dir path/to/module # lint another module root
+//	simlint -baseline           # emit analyzer,package,findings,suppressed CSV
+//
+// Findings print as "file:line: [analyzer] message". A finding is
+// suppressed by an adjacent comment with a mandatory reason:
+//
+//	//simlint:ignore <analyzer> <reason>
+//
+// See EXPERIMENTS.md ("Determinism invariants") for what each analyzer
+// checks and how `make lint` fits the tier-1 workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"iatsim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to lint (any directory inside it works)")
+	baseline := fs.Bool("baseline", false, "emit per-analyzer, per-package finding counts as CSV (for results/simlint-baseline.csv)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	findings := lint.RunAnalyzers(mod, analyzers)
+
+	if *baseline {
+		writeBaseline(stdout, mod, analyzers, findings)
+		return 0
+	}
+
+	active, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			continue
+		}
+		active++
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relPath(mod.Dir, f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if active > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s) in %s\n", active, mod.Path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "simlint: clean — %d packages, %d analyzers, %d suppression(s)\n",
+		len(mod.Pkgs), len(analyzers), suppressed)
+	return 0
+}
+
+// relPath shortens filenames to module-relative form for stable output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
+}
+
+// writeBaseline emits one CSV row per analyzer and package with nonzero
+// counts, plus an "(all)" total row per analyzer so the analyzer list is
+// recorded even when the tree is clean. results/simlint-baseline.csv is
+// this output at the suite's introduction; regenerating it shows
+// enforcement drift (new findings or suppressions) across PRs.
+func writeBaseline(w io.Writer, mod *lint.Module, analyzers []*lint.Analyzer, findings []lint.Finding) {
+	type key struct{ analyzer, pkg string }
+	type count struct{ findings, suppressed int }
+	counts := map[key]*count{}
+	get := func(k key) *count {
+		if counts[k] == nil {
+			counts[k] = &count{}
+		}
+		return counts[k]
+	}
+	for _, f := range findings {
+		for _, k := range []key{{f.Analyzer, f.Package}, {f.Analyzer, "(all)"}} {
+			c := get(k)
+			if f.Suppressed {
+				c.suppressed++
+			} else {
+				c.findings++
+			}
+		}
+	}
+	for _, a := range analyzers {
+		get(key{a.Name, "(all)"})
+	}
+	get(key{lint.MetaAnalyzer, "(all)"})
+
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].analyzer != keys[j].analyzer {
+			return keys[i].analyzer < keys[j].analyzer
+		}
+		return keys[i].pkg < keys[j].pkg
+	})
+	fmt.Fprintln(w, "analyzer,package,findings,suppressed")
+	for _, k := range keys {
+		c := counts[k]
+		fmt.Fprintf(w, "%s,%s,%d,%d\n", k.analyzer, k.pkg, c.findings, c.suppressed)
+	}
+}

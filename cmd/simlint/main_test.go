@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCleanTreeExitsZero runs the linter over this repository: HEAD must
+// be clean (the same invariant `make lint` enforces), and the baseline
+// CSV must list every analyzer.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", "../.."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on HEAD, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "simlint: clean") {
+		t.Fatalf("missing clean summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-dir", "../..", "-baseline"}, &out, &errOut); code != 0 {
+		t.Fatalf("baseline exit %d, want 0", code)
+	}
+	csv := out.String()
+	if !strings.HasPrefix(csv, "analyzer,package,findings,suppressed\n") {
+		t.Fatalf("baseline header wrong:\n%s", csv)
+	}
+	for _, name := range []string{"detlint", "maporder", "msrlint", "simlint"} {
+		if !strings.Contains(csv, "\n"+name+",(all),") && !strings.HasPrefix(csv, name+",(all),") {
+			t.Fatalf("baseline missing analyzer %q:\n%s", name, csv)
+		}
+	}
+}
+
+// TestBadDirExitsTwo pins the load-failure exit code.
+func TestBadDirExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", "/nonexistent-simlint-dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unloadable dir, want 2", code)
+	}
+}

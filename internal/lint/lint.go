@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in "[name]" finding tags
+	// and in //simlint:ignore directives.
+	Name string
+	// Doc is a one-line description, shown by cmd/simlint and recorded
+	// in results/simlint-baseline.csv.
+	Doc string
+	// Run reports findings on one package through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full simlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetLint, MapOrder, MSRLint}
+}
+
+// MetaAnalyzer tags findings produced by the directive machinery itself
+// (malformed or unused //simlint:ignore comments).
+const MetaAnalyzer = "simlint"
+
+// Finding is one reported violation (or suppressed violation — baseline
+// accounting keeps both).
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	Package  string
+	// Suppressed is set when a //simlint:ignore directive covers the
+	// finding; Reason carries the directive's mandatory justification.
+	Suppressed bool
+	Reason     string
+}
+
+// String renders the canonical "file:line: [analyzer] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass carries one analyzer over one package.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Package:  p.Pkg.Path,
+	})
+}
+
+// typeOf returns the type of e, or nil when type information is missing
+// or invalid (analyzers then degrade conservatively).
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return nil
+	}
+	return t
+}
+
+// objectOf resolves an identifier to its object (defs or uses), or nil.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// pkgImports maps the local name of each import of file to its path
+// ("rand" or an alias -> "math/rand"). Dot and blank imports are skipped.
+func pkgImports(file *ast.File) map[string]string {
+	m := map[string]string{}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		} else {
+			name = path
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// selectorPackage reports the imported package path and selector name
+// when expr is a qualified identifier like time.Now. When type info is
+// available the identifier must resolve to a package name (a local
+// variable shadowing the import does not count); without it the check is
+// purely syntactic against the file's import table.
+func (p *Pass) selectorPackage(imports map[string]string, expr ast.Expr) (path, sel string, ok bool) {
+	s, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := s.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	path, found := imports[id.Name]
+	if !found {
+		return "", "", false
+	}
+	if obj := p.objectOf(id); obj != nil {
+		if _, isPkg := obj.(*types.PkgName); !isPkg {
+			return "", "", false
+		}
+	}
+	return path, s.Sel.Name, true
+}
+
+// directive is one parsed //simlint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const directiveName = "simlint:ignore"
+
+// collectDirectives parses every //simlint:ignore comment in the package.
+// Malformed directives (unknown analyzer, missing reason) are reported as
+// findings of the meta analyzer.
+func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool, findings *[]Finding) []*directive {
+	var dirs []*directive
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, isLine := strings.CutPrefix(c.Text, "//")
+				if !isLine {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, isDir := strings.CutPrefix(text, directiveName)
+				if !isDir {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || !known[fields[0]] {
+					*findings = append(*findings, Finding{
+						Pos: pos, Analyzer: MetaAnalyzer, Package: pkg.Path,
+						Message: fmt.Sprintf("malformed directive: want //%s <analyzer> <reason> with analyzer in %s",
+							directiveName, knownList(known)),
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				if reason == "" {
+					*findings = append(*findings, Finding{
+						Pos: pos, Analyzer: MetaAnalyzer, Package: pkg.Path,
+						Message: fmt.Sprintf("ignore directive for %q needs a written reason: //%s %s <reason>",
+							fields[0], directiveName, fields[0]),
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{pos: pos, analyzer: fields[0], reason: reason})
+			}
+		}
+	}
+	return dirs
+}
+
+func knownList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+// RunAnalyzers runs the suite over every package of m and returns all
+// findings (suppressed ones included, marked), sorted by position. A
+// directive suppresses findings of its analyzer on its own line or the
+// line directly below (trailing comment, or a comment line above the
+// statement). Unused directives are findings: a suppression that no
+// longer masks anything must be deleted, so enforcement cannot silently
+// drift.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range m.Pkgs {
+		var pkgFindings []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Fset: m.Fset, Pkg: pkg, analyzer: a, findings: &pkgFindings}
+			a.Run(pass)
+		}
+		dirs := collectDirectives(m.Fset, pkg, known, &pkgFindings)
+		for i := range pkgFindings {
+			f := &pkgFindings[i]
+			for _, d := range dirs {
+				if d.analyzer == f.Analyzer && d.pos.Filename == f.Pos.Filename &&
+					(d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1) {
+					f.Suppressed, f.Reason = true, d.reason
+					d.used = true
+				}
+			}
+		}
+		for _, d := range dirs {
+			if !d.used {
+				pkgFindings = append(pkgFindings, Finding{
+					Pos: d.pos, Analyzer: MetaAnalyzer, Package: pkg.Path,
+					Message: fmt.Sprintf("unused suppression: no %s finding on this or the next line; delete the directive", d.analyzer),
+				})
+			}
+		}
+		findings = append(findings, pkgFindings...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture analyzes one testdata package under the given import path
+// (the path controls the analyzers' package-scope rules) and returns all
+// findings, suppressed included.
+func loadFixture(t *testing.T, fixture, importPath string) []Finding {
+	t.Helper()
+	mod, err := LoadDir(filepath.Join("testdata", fixture), importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	pkg := mod.Pkgs[0]
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", fixture, pkg.TypeErrors)
+	}
+	return RunAnalyzers(mod, Analyzers())
+}
+
+// active filters out suppressed findings.
+func active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+var wantRe = regexp.MustCompile(`//\s*want (\w+)`)
+
+// wantMarkers scans a fixture for "// want <analyzer>" comments and
+// returns the expected "line:analyzer" set.
+func wantMarkers(t *testing.T, fixture string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	dir := filepath.Join("testdata", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), i+1, m[1])] = true
+			}
+		}
+	}
+	return want
+}
+
+// checkAgainstMarkers compares active findings to the fixture's want
+// markers, reporting both missed and unexpected findings.
+func checkAgainstMarkers(t *testing.T, fixture string, findings []Finding) {
+	t.Helper()
+	want := wantMarkers(t, fixture)
+	got := map[string]bool{}
+	for _, f := range active(findings) {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer)] = true
+	}
+	var missed, extra []string
+	for k := range want {
+		if !got[k] {
+			missed = append(missed, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missed)
+	sort.Strings(extra)
+	if len(missed) > 0 || len(extra) > 0 {
+		t.Fatalf("fixture %s: missed findings %v, unexpected findings %v\nall: %v",
+			fixture, missed, extra, active(findings))
+	}
+}
+
+func TestDetlintCatchesSeededViolations(t *testing.T) {
+	checkAgainstMarkers(t, "detbad", loadFixture(t, "detbad", "iatsim/internal/detbad"))
+}
+
+func TestDetlintPassesCleanSimulationCode(t *testing.T) {
+	if got := active(loadFixture(t, "detok", "iatsim/internal/detok")); len(got) != 0 {
+		t.Fatalf("detok should be clean, got %v", got)
+	}
+}
+
+func TestDetlintScopeIsInternalOnly(t *testing.T) {
+	// The same violating file outside internal/ is out of detlint's
+	// scope entirely.
+	if got := active(loadFixture(t, "detbad", "iatsim/cmd/detbad")); len(got) != 0 {
+		t.Fatalf("cmd-scoped package should be out of scope, got %v", got)
+	}
+}
+
+func TestDetlintHarnessAllowlist(t *testing.T) {
+	// Under the harness path, wall-clock reads and go statements are
+	// allowlisted; the global-rand rule still applies.
+	got := active(loadFixture(t, "detbad", "iatsim/internal/harness"))
+	if len(got) != 2 {
+		t.Fatalf("harness-scoped fixture: want exactly the 2 rand findings, got %v", got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Message, "global source") {
+			t.Fatalf("unexpected finding under harness allowlist: %v", f)
+		}
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	findings := loadFixture(t, "detignore", "iatsim/internal/detignore")
+
+	var suppressed, activeDet, meta []Finding
+	for _, f := range findings {
+		switch {
+		case f.Suppressed:
+			suppressed = append(suppressed, f)
+		case f.Analyzer == DetLint.Name:
+			activeDet = append(activeDet, f)
+		case f.Analyzer == MetaAnalyzer:
+			meta = append(meta, f)
+		}
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("want 2 suppressed findings (trailing + line-above), got %v", suppressed)
+	}
+	for _, f := range suppressed {
+		if f.Reason == "" {
+			t.Fatalf("suppressed finding lost its reason: %v", f)
+		}
+	}
+	// The reason-less directive suppresses nothing, so its time.Now
+	// stays active.
+	if len(activeDet) != 1 {
+		t.Fatalf("want 1 active detlint finding (reason-less directive), got %v", activeDet)
+	}
+	// Meta findings: missing reason, unused directive, unknown analyzer.
+	if len(meta) != 3 {
+		t.Fatalf("want 3 simlint meta findings, got %v", meta)
+	}
+	wantParts := []string{"needs a written reason", "unused suppression", "malformed directive"}
+	for _, part := range wantParts {
+		found := false
+		for _, f := range meta {
+			if strings.Contains(f.Message, part) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no meta finding containing %q in %v", part, meta)
+		}
+	}
+}
+
+func TestMapOrderCatchesSeededViolations(t *testing.T) {
+	checkAgainstMarkers(t, "mapbad", loadFixture(t, "mapbad", "iatsim/internal/mapbad"))
+}
+
+func TestMapOrderPassesSortedAndOrderFreeCode(t *testing.T) {
+	if got := active(loadFixture(t, "mapok", "iatsim/internal/mapok")); len(got) != 0 {
+		t.Fatalf("mapok should be clean, got %v", got)
+	}
+}
+
+func TestMSRLintCatchesSeededViolations(t *testing.T) {
+	checkAgainstMarkers(t, "msrbad", loadFixture(t, "msrbad", "iatsim/internal/msrbad"))
+}
+
+func TestMSRLintPassesInnocentLiterals(t *testing.T) {
+	if got := active(loadFixture(t, "msrok", "iatsim/internal/msrok")); len(got) != 0 {
+		t.Fatalf("msrok should be clean, got %v", got)
+	}
+}
+
+func TestMSRLintExemptsTheRegisterFile(t *testing.T) {
+	// The same addresses inside internal/msr are the register map
+	// definition, not a layering leak.
+	if got := active(loadFixture(t, "msrbad", "iatsim/internal/msr")); len(got) != 0 {
+		t.Fatalf("internal/msr must be exempt, got %v", got)
+	}
+}
+
+// TestModuleIsCleanAtHead is the enforcement test: the repository's own
+// tree must lint clean (modulo written-reason suppressions). It is the
+// same check `make lint` runs, kept in tier-1 so a PR cannot land a
+// violation even if it skips the Makefile.
+func TestModuleIsCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if raceEnabled {
+		t.Skip("whole-module type-check is slow under -race; make lint covers it")
+	}
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunAnalyzers(mod, Analyzers())
+	for _, f := range active(findings) {
+		t.Errorf("%s", f)
+	}
+	for _, f := range findings {
+		if f.Suppressed && f.Reason == "" {
+			t.Errorf("suppression without reason: %s", f)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package lint implements simlint, the repository's custom static-analysis
+// suite. It encodes the invariants the reproduction's headline guarantee
+// rests on — byte-identical output at any -jobs value on the simulated
+// Xeon platform — as analyzers that run over every package in the module:
+//
+//   - detlint:  no wall-clock time, no global math/rand, no goroutines in
+//     simulation packages (internal/...), outside an explicit allowlist.
+//   - maporder: no map iteration feeding an output-bearing sink (CSV rows,
+//     printed lines, escaping appends, fields) without sorting first.
+//   - msrlint:  no raw architectural MSR addresses outside internal/msr;
+//     register traffic flows through the typed msr.File / internal/rdt API.
+//
+// The suite is deliberately stdlib-only (go/parser, go/ast, go/types, and
+// the GOROOT source importer) so it builds and runs offline with no module
+// dependencies, matching the repository's "stdlib only" constraint.
+//
+// Findings print as "file:line: [analyzer] message" and can be suppressed
+// with a trailing or preceding comment:
+//
+//	//simlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory, and unused suppressions are themselves findings,
+// so stale annotations cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Type errors are tolerated (TypeErrors records them): analyzers
+// degrade to syntactic checks where type information is missing, so the
+// linter stays useful on a tree that is mid-refactor.
+type Package struct {
+	// Path is the import path, e.g. "iatsim/internal/cache".
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir        string
+	Files      []*ast.File
+	Filenames  []string // parallel to Files
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Module is a loaded module: every non-test package under its root.
+type Module struct {
+	// Path is the module path from go.mod (e.g. "iatsim").
+	Path string
+	// Dir is the module root directory.
+	Dir  string
+	Fset *token.FileSet
+	// Pkgs is sorted by import path.
+	Pkgs []*Package
+}
+
+// sharedFset is the process-wide FileSet. The GOROOT source importer
+// type-checks the standard library once per process and is bound to one
+// FileSet, so the loader shares a single set across all loads.
+var (
+	sharedFset *token.FileSet
+	sharedStd  types.Importer
+	sharedOnce sync.Once
+)
+
+func stdImporter() (*token.FileSet, types.Importer) {
+	sharedOnce.Do(func() {
+		sharedFset = token.NewFileSet()
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return sharedFset, sharedStd
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at dir. Test files (_test.go) and testdata/ trees are
+// excluded: the invariants guard the simulation paths that produce
+// results, and tests legitimately use wall-clock timeouts and fixtures
+// legitimately contain seeded violations.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset, std := stdImporter()
+	m := &Module{Path: path, Dir: root, Fset: fset}
+
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkgDirs = append(pkgDirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgDirs)
+
+	for _, d := range pkgDirs {
+		pkg, err := parseDir(fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			pkg.Path = path
+		} else {
+			pkg.Path = path + "/" + filepath.ToSlash(rel)
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+
+	ld := &loader{mod: m, std: std, byPath: map[string]*Package{}, state: map[string]int{}}
+	for _, p := range m.Pkgs {
+		ld.byPath[p.Path] = p
+	}
+	for _, p := range m.Pkgs {
+		if err := ld.ensure(p); err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", p.Path, err)
+		}
+	}
+	return m, nil
+}
+
+// LoadDir parses and type-checks a single directory as a standalone
+// package under the given import path. Fixture tests use it to analyze
+// testdata packages while choosing the import path (and with it the
+// analyzers' package-scope rules) freely.
+func LoadDir(dir, importPath string) (*Module, error) {
+	fset, std := stdImporter()
+	pkg, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.Path = importPath
+	m := &Module{Path: strings.SplitN(importPath, "/", 2)[0], Dir: dir, Fset: fset, Pkgs: []*Package{pkg}}
+	ld := &loader{mod: m, std: std, byPath: map[string]*Package{importPath: pkg}, state: map[string]int{}}
+	if err := ld.ensure(pkg); err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	return m, nil
+}
+
+// parseDir parses the non-test Go files of one directory; nil if none.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, full)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// loader type-checks module packages in dependency order, resolving
+// intra-module imports from its own package set and everything else (the
+// standard library) through the GOROOT source importer.
+type loader struct {
+	mod    *Module
+	std    types.Importer
+	byPath map[string]*Package
+	state  map[string]int // 0 = unloaded, 1 = checking, 2 = done
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.byPath[path]; ok {
+		if l.state[path] == 1 {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		if err := l.ensure(p); err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// ensure type-checks p (and, via Import, its intra-module dependencies).
+// Type errors are collected on the package, not returned: analyzers run
+// on best-effort type information.
+func (l *loader) ensure(p *Package) error {
+	if l.state[p.Path] == 2 {
+		return nil
+	}
+	l.state[p.Path] = 1
+	defer func() { l.state[p.Path] = 2 }()
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, err := conf.Check(p.Path, l.mod.Fset, p.Files, info)
+	p.Types, p.Info = tpkg, info
+	if tpkg == nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package lint
+
+// raceEnabled gates the whole-module enforcement test: under the race
+// detector the full type-check exceeds reasonable budgets, and the lint
+// suite itself is single-threaded. `make lint` runs the same check.
+const raceEnabled = true

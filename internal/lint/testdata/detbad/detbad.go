@@ -1,0 +1,29 @@
+// Package detbad seeds one violation of every detlint rule, plus the
+// sanctioned seeded-rand idiom that must stay clean. The fixture tests
+// load it under an internal/ import path (in scope), a cmd/ path (out of
+// scope), and the harness path (time/go allowlisted).
+package detbad
+
+import (
+	"math/rand"
+	mrand "math/rand"
+	"time"
+)
+
+func When() time.Time { return time.Now() } // want detlint
+
+func Age(t time.Time) time.Duration { return time.Since(t) } // want detlint
+
+func Roll() int { return rand.Intn(6) } // want detlint
+
+func Jitter() float64 { return mrand.Float64() } // want detlint
+
+func Spawn(done chan struct{}) {
+	go func() { close(done) }() // want detlint
+}
+
+// Seeded is the sanctioned construction: a deterministic, seeded stream.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Tick uses time only for duration arithmetic, which detlint allows.
+func Tick() time.Duration { return 3 * time.Second }

@@ -1,0 +1,28 @@
+// Package detignore exercises the //simlint:ignore directive machinery:
+// valid suppressions (trailing and line-above), a reason-less directive
+// that must not suppress, an unused directive, and an unknown analyzer.
+package detignore
+
+import "time"
+
+// Trailing suppresses the finding on its own line.
+func Trailing() time.Time {
+	return time.Now() //simlint:ignore detlint fixture: wall clock sanctioned here for the test
+}
+
+// Above suppresses the finding on the next line.
+func Above() time.Time {
+	//simlint:ignore detlint fixture: suppression placed on the line above
+	return time.Now()
+}
+
+// MissingReason stays an active finding: a reason-less directive is
+// itself reported and suppresses nothing.
+func MissingReason() time.Time {
+	return time.Now() //simlint:ignore detlint
+}
+
+//simlint:ignore detlint this directive matches no finding and must be reported as unused
+
+//simlint:ignore nosuch unknown analyzers are malformed directives
+var placeholder = 1

@@ -1,0 +1,24 @@
+// Package detok is a simulation-shaped package that obeys every detlint
+// rule: simulated time as plain floats, seeded RNG streams, duration
+// types without wall-clock reads, and no goroutines.
+package detok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is simulated time in nanoseconds, advanced by the caller.
+type Clock struct{ NowNS float64 }
+
+// Advance moves simulated time forward.
+func (c *Clock) Advance(ns float64) { c.NowNS += ns }
+
+// Draw samples from a seeded stream.
+func Draw(rng *rand.Rand) float64 { return rng.Float64() }
+
+// NewStream builds the stream from an explicit seed.
+func NewStream(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Interval is duration arithmetic only: no wall-clock read.
+const Interval = 250 * time.Millisecond

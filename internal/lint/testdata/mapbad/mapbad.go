@@ -1,0 +1,47 @@
+// Package mapbad seeds maporder violations: map iteration feeding each
+// recognised sink class without sorting.
+package mapbad
+
+import "fmt"
+
+// Print emits rows in map order.
+func Print(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Collect lets a map-ordered slice escape without ever sorting it.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+type record struct{ last string }
+
+// Fields writes a field visible outside the loop, last-writer-wins in
+// map order.
+func Fields(m map[string]int, r *record) {
+	for k := range m { // want maporder
+		r.last = k
+	}
+}
+
+// Rows hands map-ordered rows to a csv.Writer-shaped sink.
+func Rows(m map[string]int, w interface{ Write([]string) error }) {
+	for k := range m { // want maporder
+		_ = w.Write([]string{k})
+	}
+}
+
+// Elements writes slice elements in map order.
+func Elements(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m { // want maporder
+		out[i] = v
+		i++
+	}
+}

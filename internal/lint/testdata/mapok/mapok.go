@@ -1,0 +1,56 @@
+// Package mapok holds the map-iteration shapes maporder must accept:
+// collect-then-sort, order-free aggregation, map-to-map rebuilds, and
+// ordinary slice loops.
+package mapok
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sorted is the canonical idiom: collect keys, sort, then emit.
+func Sorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// SortedSlice uses sort.Slice on the collected keys.
+func SortedSlice(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Sum aggregates order-free into a local.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes map entries — ordering cannot be observed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Slices iterates a slice; no map order involved.
+func Slices(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}

@@ -1,0 +1,19 @@
+// Package msrbad spells raw MSR addresses that must flow through the
+// internal/msr constants instead.
+package msrbad
+
+const (
+	catMask = 0x0C90 // want msrlint
+	iioWays = 0xC8B  // want msrlint
+	mba     = 0x0D50 // want msrlint
+)
+
+// PQRAddr rebuilds the flattened per-core association address by hand.
+func PQRAddr(core int) uint32 {
+	return 0x0C8F_0000 + uint32(core) // want msrlint
+}
+
+// CHAAddr pokes the synthetic uncore counter block directly.
+func CHAAddr(slice int) uint32 {
+	return 0xF100_0000 + uint32(slice)*16 // want msrlint
+}

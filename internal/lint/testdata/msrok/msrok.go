@@ -1,0 +1,12 @@
+// Package msrok holds integer literals msrlint must leave alone: hex
+// values outside every MSR window, and decimal spellings (the analyzer
+// matches hex only, so ordinary scalar constants never trip it).
+package msrok
+
+const (
+	wayMask   = 0x7FF              // an 11-way CAT bitmask value, not an address
+	pageSize  = 0x1000             // below every window
+	decimal   = 3216               // 0xC90 in decimal: deliberately unmatched
+	mixerA    = 0x9E3779B97F4A7C15 // splitmix64 constant, far above the windows
+	ringDepth = 1024
+)
