@@ -7,9 +7,9 @@ GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: all build lint simlint vet fmtcheck test race smoke determinism scaling clean
+.PHONY: all build lint simlint vet fmtcheck test race smoke telemetry-smoke determinism scaling clean
 
-all: build lint test
+all: build lint test telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,18 @@ smoke: build
 	$(GO) run ./cmd/experiments -fig 3 -jobs $(JOBS) -csv $(TMP)/smoke -json $(TMP)/smoke
 	grep -q '"failures": 0' $(TMP)/smoke/manifest.json
 	@echo "smoke OK: $(TMP)/smoke/manifest.json"
+
+# telemetry-smoke: one figure with per-job telemetry collection, then
+# iatstat -validate schema-checks every produced snapshot and Chrome
+# trace, and iatstat prints + diffs two of them (exercising the whole
+# inspect path).
+telemetry-smoke: build
+	rm -rf $(TMP)/tel && mkdir -p $(TMP)/tel
+	$(GO) run ./cmd/experiments -fig 8 -jobs $(JOBS) -telemetry $(TMP)/tel > /dev/null
+	$(GO) run ./cmd/iatstat -validate $(TMP)/tel
+	$(GO) run ./cmd/iatstat $(TMP)/tel/fig8_pkt_64_iat.json > /dev/null
+	$(GO) run ./cmd/iatstat -diff $(TMP)/tel/fig8_pkt_64_baseline.json $(TMP)/tel/fig8_pkt_64_iat.json > /dev/null
+	@echo "telemetry-smoke OK: $(TMP)/tel"
 
 # determinism: -all at 1 worker vs 8 workers must emit byte-identical CSV
 # rows. fig15.csv is excluded: it measures host wall-clock time (the

@@ -10,6 +10,7 @@
 //	experiments -all -full              # everything at the paper's full sweeps
 //	experiments -all -jobs 8            # parallel across 8 workers
 //	experiments -all -json out/         # write out/manifest.json for the run
+//	experiments -fig 8 -telemetry tel/  # per-job telemetry snapshots into tel/
 //
 // Sweep points run as independent jobs on a bounded worker pool; rows come
 // back in submission order, so the output is identical at any -jobs value.
@@ -43,6 +44,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper ablations (mechanisms, growth policy, future-DDIO, MBA)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	jsonDir := flag.String("json", "", "write a per-run manifest (timings, failures) as JSON into this directory")
+	telDir := flag.String("telemetry", "", "write a per-job telemetry snapshot (<dir>/<job>.{json,csv,trace.json}) into this directory")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to simulate concurrently")
 	seed := flag.Int64("seed", 0, "base RNG seed; 0 selects the canonical per-point seeds used by results/")
 	retries := flag.Int("retries", 0, "re-run a crashed sweep point up to this many times before reporting it failed")
@@ -69,6 +71,7 @@ func main() {
 	exp.SetExec(exp.Exec{
 		Jobs: *jobs, Seed: *seed, Retries: *retries,
 		Progress: os.Stderr, Manifest: manifest,
+		TelemetryDir: *telDir,
 	})
 
 	// run executes one experiment; fn returns the rows to (optionally)

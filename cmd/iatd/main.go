@@ -17,6 +17,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 
@@ -27,6 +28,7 @@ import (
 	"iatsim/internal/nvme"
 	"iatsim/internal/pkt"
 	"iatsim/internal/sim"
+	"iatsim/internal/telemetry"
 	"iatsim/internal/tenantfile"
 	"iatsim/internal/tgen"
 	"iatsim/internal/trace"
@@ -52,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 	interval := fs.Float64("interval", 1, "IAT polling interval in simulated seconds")
 	scale := fs.Float64("scale", 100, "simulation scale factor")
 	tracePath := fs.String("trace", "", "write a per-iteration CSV trace to this file")
+	telDir := fs.String("telemetry", "", "collect telemetry and write <dir>/snapshot.{json,csv,trace.json} at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +73,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	p := sim.NewPlatform(sim.XeonGold6140(*scale))
+	var tel *telemetry.Registry
+	if *telDir != "" {
+		// Attach before build so AddDevice auto-instruments every NIC
+		// and buildWorkers can instrument NVMe devices it creates.
+		tel = telemetry.NewRegistry()
+		p.AttachTelemetry(tel)
+	}
 	xmems, err := build(p, entries)
 	if err != nil {
 		return err
@@ -81,6 +91,9 @@ func run(args []string, stdout io.Writer) error {
 	daemon, err := bridge.NewIAT(p, params, core.Options{})
 	if err != nil {
 		return err
+	}
+	if tel != nil {
+		daemon.Tel = tel
 	}
 	var tracer *trace.Writer
 	if *tracePath != "" {
@@ -116,6 +129,16 @@ func run(args []string, stdout io.Writer) error {
 	total, unstable := daemon.Iterations()
 	fmt.Fprintf(stdout, "iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
 		total, unstable, daemon.State(), p.RDT.DDIOMask())
+	if tel != nil {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			return err
+		}
+		base := filepath.Join(*telDir, "snapshot")
+		if err := tel.Snapshot(p.NowNS()).WriteFiles(base); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "iatd: telemetry snapshot written to %s.{json,csv,trace.json}\n", base)
+	}
 	return nil
 }
 
@@ -298,6 +321,7 @@ func buildWorkers(p *sim.Platform, e tenantfile.Entry) ([]sim.Worker, bool, erro
 		cfg := nvme.DefaultConfig("ssd-" + e.Name)
 		cfg.BandwidthGBps /= p.Cfg.Scale
 		dev := nvme.New(cfg, len(e.Cores), p.DDIO, p.Alloc)
+		dev.AttachTelemetry(p.Telemetry())
 		p.AddMicrotickHook(dev.Tick)
 		workers := make([]sim.Worker, len(e.Cores))
 		for i := range workers {

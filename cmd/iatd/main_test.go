@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"iatsim/internal/telemetry"
 )
 
 // smokeTenants is a two-tenant scenario: a line-rate forwarder (I/O) and
@@ -54,6 +56,55 @@ func TestSmokeDeterministicRun(t *testing.T) {
 	second := runSmoke(t)
 	if first != second {
 		t.Fatalf("two identical runs diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestTelemetryFlag runs the daemon with -telemetry and checks the
+// snapshot triple exists, validates, and covers the platform layers the
+// smoke scenario exercises (cache, DDIO, NIC, memory, daemon events).
+func TestTelemetryFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 1s of platform time")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	telDir := filepath.Join(dir, "tel")
+	var out bytes.Buffer
+	err := run([]string{"-tenants", path, "-duration", "1", "-interval", "0.2", "-telemetry", telDir}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	snap, err := telemetry.ReadSnapshotFile(filepath.Join(telDir, "snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsystems := map[string]bool{}
+	for _, m := range snap.Metrics {
+		subsystems[m.Subsystem] = true
+	}
+	for _, want := range []string{"cache", "ddio", "mem", "nic"} {
+		if !subsystems[want] {
+			t.Errorf("snapshot missing %q metrics (got %v)", want, subsystems)
+		}
+	}
+	daemonEvents := 0
+	for _, ev := range snap.Events {
+		if ev.Subsystem == "daemon" {
+			daemonEvents++
+		}
+	}
+	if daemonEvents == 0 {
+		t.Error("snapshot has no daemon events")
+	}
+	data, err := os.ReadFile(filepath.Join(telDir, "snapshot.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Fatal(err)
 	}
 }
 

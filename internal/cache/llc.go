@@ -49,6 +49,7 @@ type llcSlice struct {
 	state []uint8
 	rrpv  []uint8
 	stats SliceStats
+	tel   sliceTel
 }
 
 // SRRIP constants: 2-bit RRPV, insert at distant (max-1).
@@ -228,6 +229,7 @@ func (l *LLC) install(sl *llcSlice, base, w int, tag uint64, dirty bool) Victim 
 		if v.Dirty {
 			sl.stats.Writebacks++
 		}
+		sl.tel.evictions.Inc()
 	}
 	sl.tags[idx] = tag
 	sl.state[idx] = stateValid
@@ -253,6 +255,7 @@ func (l *LLC) Access(core int, a uint64, write bool, mask WayMask) (hit bool, v 
 	l.coreRefs[core]++
 	if w := l.probe(sl, base, tag); w >= 0 {
 		sl.stats.Hits++
+		sl.tel.hits.Inc()
 		if write {
 			sl.state[base+w] |= stateDirty
 		}
@@ -267,12 +270,14 @@ func (l *LLC) Access(core int, a uint64, write bool, mask WayMask) (hit bool, v 
 		return true, Victim{}
 	}
 	sl.stats.Misses++
+	sl.tel.misses.Inc()
 	l.coreMisses[core]++
 	if mask == 0 {
 		mask = FullMask(l.cfg.Ways)
 	}
 	w := l.victimWay(sl, base, mask)
 	v = l.install(sl, base, w, tag, write)
+	sl.tel.fillsApp.Inc()
 	return false, v
 }
 
@@ -296,7 +301,9 @@ func (l *LLC) FillWriteback(a uint64, mask WayMask) Victim {
 		mask = FullMask(l.cfg.Ways)
 	}
 	w := l.victimWay(sl, base, mask)
-	return l.install(sl, base, w, tag, true)
+	v := l.install(sl, base, w, tag, true)
+	sl.tel.fillsApp.Inc()
+	return v
 }
 
 // IOWrite models a DDIO inbound write of one line. If the line is resident
@@ -318,6 +325,7 @@ func (l *LLC) IOWrite(a uint64, ddioMask WayMask) (hit bool, v Victim) {
 	}
 	w := l.victimWay(sl, base, ddioMask)
 	v = l.install(sl, base, w, tag, true)
+	sl.tel.fillsDDIO.Inc()
 	return false, v
 }
 
@@ -353,7 +361,9 @@ func (l *LLC) AmbientFill(a uint64) Victim {
 		return Victim{}
 	}
 	w := l.victimWay(sl, base, FullMask(l.cfg.Ways))
-	return l.install(sl, base, w, tag, false)
+	v := l.install(sl, base, w, tag, false)
+	sl.tel.fillsApp.Inc()
+	return v
 }
 
 // Contains reports whether the line holding address a is resident, without

@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"strconv"
+
+	"iatsim/internal/telemetry"
+)
+
+// sliceTel holds the per-slice telemetry handles. The zero value (all
+// nil) is the uninstrumented state: every increment below degrades to a
+// single nil-check branch, which the cache benchmarks show is free and
+// TestAccessNilSinkAllocatesNothing proves allocation-free.
+type sliceTel struct {
+	hits      *telemetry.Counter // demand hits
+	misses    *telemetry.Counter // demand misses
+	evictions *telemetry.Counter // valid lines displaced by any install
+	fillsDDIO *telemetry.Counter // installs on the inbound-I/O path (IOWrite allocate)
+	fillsApp  *telemetry.Counter // installs on core paths (demand miss, L2 writeback, ambient)
+}
+
+// AttachTelemetry resolves per-slice counters from s. The fill counters
+// split installs by datapath — the LLC does not know the DDIO way mask,
+// so "DDIO-way vs app-way" is accounted where it is decided: IOWrite
+// allocates fill the DDIO mask, everything else fills the tenant masks.
+// A nil (or typed-nil) sink leaves the handles nil.
+func (l *LLC) AttachTelemetry(s telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	for i := range l.slices {
+		scope := "slice" + strconv.Itoa(i)
+		l.slices[i].tel = sliceTel{
+			hits:      s.Counter("cache", scope, "hits"),
+			misses:    s.Counter("cache", scope, "misses"),
+			evictions: s.Counter("cache", scope, "evictions"),
+			fillsDDIO: s.Counter("cache", scope, "fills_ddio"),
+			fillsApp:  s.Counter("cache", scope, "fills_app"),
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"iatsim/internal/cache"
 	"iatsim/internal/rdt"
+	"iatsim/internal/telemetry"
 )
 
 // groupRates are one interval's derived metrics for a group.
@@ -81,6 +82,16 @@ type Daemon struct {
 
 	// OnIteration, when set, is invoked at the end of every iteration.
 	OnIteration func(IterationInfo)
+
+	// Tel, when set, receives the daemon's event stream: state
+	// transitions (info), mask reprogramming (debug), and one
+	// "iteration" event per completed iteration (debug) whose Data
+	// payload is the IterationInfo — internal/trace renders Fig. 11
+	// from exactly that stream.
+	Tel telemetry.Sink
+
+	telState State   // last state published to Tel
+	nowNS    float64 // current iteration's sim time, for apply()-time events
 }
 
 // NewDaemon builds a daemon over sys. It performs the Get Tenant Info and
@@ -296,6 +307,7 @@ func (d *Daemon) detect(cur, prev intervalSample) changes {
 
 // iterate is one Poll Prof Data -> State Transition -> LLC Re-alloc pass.
 func (d *Daemon) iterate(nowNS float64) {
+	d.nowNS = nowNS
 	if d.needInfo {
 		d.getTenantInfo()
 	}
@@ -620,10 +632,14 @@ func (d *Daemon) apply() bool {
 		return false
 	}
 	wrote := false
-	for clos, m := range masks {
+	// Sorted CLOS order: the register writes commute, but the telemetry
+	// events they emit must appear in a run-independent order.
+	for _, clos := range sortedCLOS(masks) {
+		m := masks[clos]
 		if d.sys.CLOSMask(clos) != m {
 			if err := d.sys.SetCLOSMask(clos, m); err == nil {
 				wrote = true
+				d.emitMask(fmt.Sprintf("clos%d=%v", clos, m))
 			}
 		}
 	}
@@ -632,6 +648,7 @@ func (d *Daemon) apply() bool {
 		if d.sys.DDIOMask() != dm {
 			if err := d.sys.SetDDIOMask(dm); err == nil {
 				wrote = true
+				d.emitMask(fmt.Sprintf("ddio=%v", dm))
 			}
 		}
 	}
@@ -644,16 +661,37 @@ func (d *Daemon) apply() bool {
 	return wrote
 }
 
-// emit publishes the iteration trace.
+// emitMask publishes one mask-reprogramming event (a register write the
+// daemon actually performed).
+func (d *Daemon) emitMask(detail string) {
+	if d.Tel == nil {
+		return
+	}
+	d.Tel.Emit(telemetry.Event{
+		TimeNS: d.nowNS, Sev: telemetry.SevDebug,
+		Subsystem: "daemon", Name: "mask_write", Detail: detail,
+	})
+}
+
+// emit publishes the iteration trace to OnIteration and the telemetry
+// event stream.
 func (d *Daemon) emit(nowNS float64, cur intervalSample, stable bool, action string) {
-	if d.OnIteration == nil {
+	if d.Tel != nil && d.state != d.telState {
+		d.Tel.Emit(telemetry.Event{
+			TimeNS: nowNS, Sev: telemetry.SevInfo,
+			Subsystem: "daemon", Name: "state",
+			Detail: d.telState.String() + "->" + d.state.String(),
+		})
+		d.telState = d.state
+	}
+	if d.OnIteration == nil && d.Tel == nil {
 		return
 	}
 	masks := make(map[int]cache.WayMask, len(d.groups))
 	for _, g := range d.groups {
 		masks[g.CLOS] = d.sys.CLOSMask(g.CLOS)
 	}
-	d.OnIteration(IterationInfo{
+	info := IterationInfo{
 		NowNS:      nowNS,
 		State:      d.state,
 		Stable:     stable,
@@ -663,5 +701,15 @@ func (d *Daemon) emit(nowNS float64, cur intervalSample, stable bool, action str
 		Masks:      masks,
 		DDIOHitPS:  cur.ddioHitPS,
 		DDIOMissPS: cur.ddioMissPS,
-	})
+	}
+	if d.Tel != nil {
+		d.Tel.Emit(telemetry.Event{
+			TimeNS: nowNS, Sev: telemetry.SevDebug,
+			Subsystem: "daemon", Name: "iteration", Detail: action,
+			Data: info,
+		})
+	}
+	if d.OnIteration != nil {
+		d.OnIteration(info)
+	}
 }

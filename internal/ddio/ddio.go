@@ -15,6 +15,7 @@ import (
 	"iatsim/internal/cache"
 	"iatsim/internal/mem"
 	"iatsim/internal/msr"
+	"iatsim/internal/telemetry"
 )
 
 // Stats counts engine activity (line granularity).
@@ -36,6 +37,7 @@ type Engine struct {
 	hier  *cache.Hierarchy
 	mc    *mem.Controller
 	stats Stats
+	tel   engineTel
 
 	// Enabled mirrors the BIOS knob: when false, inbound data still
 	// transits the coherence domain but is immediately evicted, so every
@@ -95,6 +97,7 @@ func (e *Engine) deviceWriteMasked(a uint64, n, consumerCore int, mask cache.Way
 		if !e.Enabled {
 			// DDIO off: data lands in the coherence domain and is
 			// immediately written out to memory.
+			e.tel.drops.Inc()
 			e.mc.Write(cache.LineSize)
 			continue
 		}
@@ -104,12 +107,14 @@ func (e *Engine) deviceWriteMasked(a uint64, n, consumerCore int, mask cache.Way
 			if st != &e.stats {
 				e.stats.WriteUpdates++
 			}
+			e.tel.writeUpdates.Inc()
 			continue
 		}
 		st.WriteAllocs++
 		if st != &e.stats {
 			e.stats.WriteAllocs++
 		}
+		e.tel.writeAllocs.Inc()
 		if v.Valid && v.Dirty {
 			e.mc.Write(cache.LineSize)
 		}
@@ -128,6 +133,7 @@ func (e *Engine) deviceWriteBypass(a uint64, n, consumerCore int, st *Stats) {
 	for line := first; line <= last; line += cache.LineSize {
 		st.LinesBypassed++
 		e.stats.LinesBypassed++
+		e.tel.drops.Inc()
 		if consumerCore >= 0 {
 			e.hier.InvalidatePrivate(consumerCore, line)
 		}
@@ -159,15 +165,41 @@ func (e *Engine) deviceReadInto(a uint64, n int, st *Stats) {
 			if st != &e.stats {
 				e.stats.ReadsFromLLC++
 			}
+			e.tel.readsLLC.Inc()
 			continue
 		}
 		st.ReadsFromMem++
 		if st != &e.stats {
 			e.stats.ReadsFromMem++
 		}
+		e.tel.readsMem.Inc()
 		e.mc.Read(cache.LineSize)
 	}
 }
 
 // Stats returns cumulative engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// engineTel mirrors the inbound/outbound decision counters into the
+// telemetry plane. All-nil (zero value) when uninstrumented.
+type engineTel struct {
+	writeUpdates *telemetry.Counter // inbound line hit resident copy (write update)
+	writeAllocs  *telemetry.Counter // inbound line allocated into the DDIO mask
+	drops        *telemetry.Counter // inbound line steered to memory (DDIO off or bypass policy)
+	readsLLC     *telemetry.Counter // outbound line served by the LLC
+	readsMem     *telemetry.Counter // outbound line served by memory
+}
+
+// AttachTelemetry resolves the engine's counters from s (nil-safe).
+func (e *Engine) AttachTelemetry(s telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	e.tel = engineTel{
+		writeUpdates: s.Counter("ddio", "", "write_updates"),
+		writeAllocs:  s.Counter("ddio", "", "write_allocates"),
+		drops:        s.Counter("ddio", "", "drops_to_mem"),
+		readsLLC:     s.Counter("ddio", "", "reads_from_llc"),
+		readsMem:     s.Counter("ddio", "", "reads_from_mem"),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"iatsim/internal/bridge"
 	"iatsim/internal/core"
 	"iatsim/internal/harness"
+	"iatsim/internal/telemetry"
 )
 
 // Fig8Row is one point of Fig. 8: system behaviour for one packet size under
@@ -60,7 +61,10 @@ func RunFig8(w io.Writer, o Fig8Opts) []Fig8Row {
 			seed := jobSeed(name)
 			jobs = append(jobs, harness.Job{
 				Name: name, Figure: "fig8", Seed: seed,
-				Fn: func() (any, error) { return runFig8Point(size, mode, seed, o), nil },
+				TelFn: func(tel *telemetry.Registry) (any, *telemetry.Snapshot, error) {
+					row, snap := runFig8Point(size, mode, seed, o, tel)
+					return row, snap, nil
+				},
 			})
 		}
 	}
@@ -77,8 +81,13 @@ func RunFig8(w io.Writer, o Fig8Opts) []Fig8Row {
 	return rows
 }
 
-func runFig8Point(size int, mode string, seed int64, o Fig8Opts) Fig8Row {
+// runFig8Point runs one cell. tel may be nil (telemetry off): the
+// instrumentation degrades to nil handles and no snapshot is returned.
+func runFig8Point(size int, mode string, seed int64, o Fig8Opts, tel *telemetry.Registry) (Fig8Row, *telemetry.Snapshot) {
 	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: size, Seed: seed})
+	if tel != nil {
+		s.P.AttachTelemetry(tel)
+	}
 	var daemon *core.Daemon
 	if mode == "iat" {
 		params := core.DefaultParams()
@@ -90,6 +99,9 @@ func runFig8Point(size int, mode string, seed int64, o Fig8Opts) Fig8Row {
 		daemon, err = bridge.NewIAT(s.P, params, core.Options{})
 		if err != nil {
 			panic(err)
+		}
+		if tel != nil {
+			daemon.Tel = tel
 		}
 	}
 	s.P.Run(o.WarmNS)
@@ -113,5 +125,5 @@ func runFig8Point(size int, mode string, seed int64, o Fig8Opts) Fig8Row {
 	if daemon != nil {
 		row.FinalState = daemon.State().String()
 	}
-	return row
+	return row, tel.Snapshot(s.P.NowNS())
 }

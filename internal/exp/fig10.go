@@ -12,6 +12,7 @@ import (
 	"iatsim/internal/nic"
 	"iatsim/internal/pkt"
 	"iatsim/internal/sim"
+	"iatsim/internal/telemetry"
 	"iatsim/internal/tgen"
 	"iatsim/internal/workload"
 )
@@ -137,9 +138,9 @@ func RunFig10(w io.Writer, o Fig10Opts) []Fig10Row {
 			seed := jobSeed(name)
 			jobs = append(jobs, harness.Job{
 				Name: name, Figure: "fig10", Seed: seed,
-				Fn: func() (any, error) {
-					r, _ := runFig10Point(size, mode, seed, o, nil)
-					return r, nil
+				TelFn: func(tel *telemetry.Registry) (any, *telemetry.Snapshot, error) {
+					r, _, snap := runFig10Point(size, mode, seed, o, nil, tel)
+					return r, snap, nil
 				},
 			})
 		}
@@ -168,10 +169,13 @@ type Fig11Sample struct {
 }
 
 // runFig10Point runs one cell; when series is non-nil it is filled with
-// 100ms samples (Fig. 11).
-func runFig10Point(size int, mode string, seed int64, o Fig10Opts, series *[]Fig11Sample) (Fig10Row, []Fig11Sample) {
+// 100ms samples (Fig. 11). tel may be nil (telemetry off).
+func runFig10Point(size int, mode string, seed int64, o Fig10Opts, series *[]Fig11Sample, tel *telemetry.Registry) (Fig10Row, []Fig11Sample, *telemetry.Snapshot) {
 	s := newLatentScenario(o.Scale, size, seed)
 	p := s.P
+	if tel != nil {
+		p.AttachTelemetry(tel)
+	}
 	var daemon *core.Daemon
 	switch mode {
 	case "baseline":
@@ -193,6 +197,9 @@ func runFig10Point(size int, mode string, seed int64, o Fig10Opts, series *[]Fig
 		daemon, err = bridge.NewIAT(p, params, core.Options{DisableDDIOAdjust: true})
 		if err != nil {
 			panic(err)
+		}
+		if tel != nil {
+			daemon.Tel = tel
 		}
 	default:
 		panic("unknown mode " + mode)
@@ -235,10 +242,11 @@ func runFig10Point(size int, mode string, seed int64, o Fig10Opts, series *[]Fig
 	}
 	run(o.Phase3NS / 2)
 	row.P3Mops, row.P3LatNS = xmemWindowSeries(p, s, o.Phase3NS/2, run)
+	snap := tel.Snapshot(p.NowNS())
 	if series != nil {
-		return row, *series
+		return row, *series, snap
 	}
-	return row, nil
+	return row, nil, snap
 }
 
 // xmemWindowSeries measures container 4 over durNS using the provided run
@@ -270,10 +278,10 @@ func RunFig11(w io.Writer, o Fig10Opts) []Fig11Sample {
 	seed := jobSeed(name)
 	jobs := []harness.Job{{
 		Name: name, Figure: "fig11", Seed: seed,
-		Fn: func() (any, error) {
+		TelFn: func(tel *telemetry.Registry) (any, *telemetry.Snapshot, error) {
 			var s []Fig11Sample
-			runFig10Point(1500, "iat", seed, o, &s)
-			return s, nil
+			_, _, snap := runFig10Point(1500, "iat", seed, o, &s, tel)
+			return s, snap, nil
 		},
 	}}
 	series := runJobs[Fig11Sample](jobs)

@@ -30,6 +30,10 @@ type Exec struct {
 	// Manifest, when non-nil, accumulates per-job timings and
 	// failures across runners.
 	Manifest *harness.Manifest
+	// TelemetryDir, when non-empty, collects a per-job telemetry
+	// snapshot (for runners migrated to harness.Job.TelFn) into
+	// <TelemetryDir>/<job name>.{json,csv,trace.json}.
+	TelemetryDir string
 }
 
 var (
@@ -66,9 +70,10 @@ func jobSeed(name string) int64 {
 func runJobs[R any](jobs []harness.Job) []R {
 	e := CurrentExec()
 	rep := harness.Run(jobs, harness.Options{
-		Workers:  e.Jobs,
-		Retries:  e.Retries,
-		Progress: e.Progress,
+		Workers:      e.Jobs,
+		Retries:      e.Retries,
+		Progress:     e.Progress,
+		TelemetryDir: e.TelemetryDir,
 	})
 	if e.Manifest != nil {
 		e.Manifest.Append(rep)

@@ -22,6 +22,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"iatsim/internal/telemetry"
 )
 
 // Job is one self-contained simulation point.
@@ -43,6 +45,12 @@ type Job struct {
 	// self-contained: build its own platform and share no mutable
 	// state with other jobs.
 	Fn func() (any, error)
+	// TelFn, when set, is used instead of Fn and additionally returns
+	// the point's telemetry snapshot. The harness hands it a private
+	// registry when Options.TelemetryDir is set and nil otherwise —
+	// nil flows through telemetry's nil-safe handles, so the closure
+	// wires it unconditionally and pays nothing when telemetry is off.
+	TelFn func(tel *telemetry.Registry) (row any, snap *telemetry.Snapshot, err error)
 }
 
 // Result is the outcome of one job.
@@ -59,6 +67,9 @@ type Result struct {
 	// Attempts counts executions (1 = no retries needed).
 	Attempts int     `json:"attempts"`
 	WallMS   float64 `json:"wall_ms"`
+	// Snapshot is the path of the job's telemetry snapshot JSON ("" when
+	// telemetry was off or the job produced none).
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
 // Failed reports whether the job exhausted its attempts.
@@ -76,6 +87,10 @@ type Options struct {
 	// Label prefixes the progress line; defaults to the first job's
 	// Figure.
 	Label string
+	// TelemetryDir, when non-empty, gives every TelFn job a private
+	// telemetry registry and writes its returned snapshot to
+	// <TelemetryDir>/<SnapshotBase(job name)>.{json,csv,trace.json}.
+	TelemetryDir string
 }
 
 // Report is the outcome of a Run.
@@ -118,7 +133,7 @@ func Run(jobs []Job, o Options) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rep.Results[i] = execute(jobs[i], o.Retries)
+				rep.Results[i] = execute(jobs[i], o)
 				prog.completed(rep.Results[i])
 			}
 		}()
@@ -131,7 +146,7 @@ func Run(jobs []Job, o Options) *Report {
 
 	// Wall-clock-measured jobs get the machine to themselves.
 	for _, i := range exclusive {
-		rep.Results[i] = execute(jobs[i], o.Retries)
+		rep.Results[i] = execute(jobs[i], o)
 		prog.completed(rep.Results[i])
 	}
 
@@ -145,13 +160,19 @@ func Run(jobs []Job, o Options) *Report {
 	return rep
 }
 
-// execute runs one job to completion, retrying failed attempts.
-func execute(j Job, retries int) Result {
+// execute runs one job to completion, retrying failed attempts. A
+// telemetry snapshot that cannot be persisted fails the attempt: the
+// caller asked for telemetry, so silently dropping it would misreport
+// the run.
+func execute(j Job, o Options) Result {
 	res := Result{Name: j.Name, Figure: j.Figure, Seed: j.Seed}
 	t0 := time.Now()
-	for a := 0; a <= retries; a++ {
+	for a := 0; a <= o.Retries; a++ {
 		res.Attempts = a + 1
-		row, err := capture(j.Fn)
+		row, snap, err := capture(j, o.TelemetryDir != "")
+		if err == nil && snap != nil && o.TelemetryDir != "" {
+			res.Snapshot, err = writeSnapshot(o.TelemetryDir, j.Name, snap)
+		}
 		if err == nil {
 			res.Row, res.Err = row, ""
 			break
@@ -162,15 +183,24 @@ func execute(j Job, retries int) Result {
 	return res
 }
 
-// capture invokes fn, converting a panic into an error carrying the
-// stack trace.
-func capture(fn func() (any, error)) (row any, err error) {
+// capture invokes the job's function, converting a panic into an error
+// carrying the stack trace. TelFn jobs get a fresh registry when
+// telemetry collection is on.
+func capture(j Job, wantTel bool) (row any, snap *telemetry.Snapshot, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
 		}
 	}()
-	return fn()
+	if j.TelFn != nil {
+		var reg *telemetry.Registry
+		if wantTel {
+			reg = telemetry.NewRegistry()
+		}
+		return j.TelFn(reg)
+	}
+	row, err = j.Fn()
+	return row, nil, err
 }
 
 // progress renders the live status line. All methods are safe on a nil

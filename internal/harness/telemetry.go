@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"path/filepath"
+
+	"iatsim/internal/telemetry"
+)
+
+// SnapshotBase maps a job name to the base file name of its telemetry
+// snapshot: the manifest name with path separators (and anything else
+// hostile to filesystems) flattened to '_'. The harness writes
+// <dir>/<base>.json (plus .csv and .trace.json) for each job that
+// returns a snapshot, so snapshot files correlate 1:1 with manifest
+// entries.
+func SnapshotBase(jobName string) string {
+	out := []rune(jobName)
+	for i, r := range out {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// writeSnapshot persists a job's snapshot under dir and returns the
+// path of the JSON file (the canonical one; CSV and Chrome-trace
+// renderings sit alongside it).
+func writeSnapshot(dir, jobName string, snap *telemetry.Snapshot) (string, error) {
+	base := filepath.Join(dir, SnapshotBase(jobName))
+	if err := snap.WriteFiles(base); err != nil {
+		return "", err
+	}
+	return base + ".json", nil
+}

@@ -168,6 +168,21 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+func TestDetlintCoversTelemetry(t *testing.T) {
+	// internal/telemetry is fully inside detlint's scope: the same
+	// seeded violations must be reported under its import path exactly
+	// as under any other internal package (no accidental allowlisting —
+	// the subsystem's determinism claims depend on it).
+	checkAgainstMarkers(t, "detbad", loadFixture(t, "detbad", "iatsim/internal/telemetry"))
+}
+
+func TestMapOrderCoversSnapshotExports(t *testing.T) {
+	// The snapshot-export shapes: collect-then-sort passes, unsorted
+	// CSV/row/event emission from map iteration is flagged — including
+	// .Emit calls, which bake map order into event sequence numbers.
+	checkAgainstMarkers(t, "mapsnap", loadFixture(t, "mapsnap", "iatsim/internal/telemetry"))
+}
+
 func TestMapOrderCatchesSeededViolations(t *testing.T) {
 	checkAgainstMarkers(t, "mapbad", loadFixture(t, "mapbad", "iatsim/internal/mapbad"))
 }

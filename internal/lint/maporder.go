@@ -15,7 +15,9 @@ import (
 // Sinks:
 //   - fmt printing (Print/Printf/Println/Fprint/Fprintf/Fprintln),
 //   - writer-shaped method calls (Write, WriteString, WriteAll, WriteRow,
-//     WriteByte, WriteRune, Print, Printf, Println, Record),
+//     WriteByte, WriteRune, Print, Printf, Println, Record, Emit —
+//     telemetry events carry sequence numbers, so emission order is
+//     output order),
 //   - append whose destination is declared outside the loop (the slice
 //     escapes carrying map-ordered elements),
 //   - assignment to a field or slice/array element of a variable declared
@@ -35,7 +37,7 @@ var MapOrder = &Analyzer{
 var writerMethods = map[string]bool{
 	"Write": true, "WriteString": true, "WriteAll": true, "WriteRow": true,
 	"WriteByte": true, "WriteRune": true, "Print": true, "Printf": true,
-	"Println": true, "Record": true,
+	"Println": true, "Record": true, "Emit": true,
 }
 
 // fmtPrinters are the fmt package functions that write output.

@@ -1,0 +1,88 @@
+// Package mapsnap models the telemetry snapshot/export shapes maporder
+// must distinguish: a registry keeps metrics in a map, and every path
+// that turns that map into ordered output (snapshot rows, CSV, emitted
+// events) must sort the keys first. The clean functions mirror
+// telemetry.Registry.Snapshot; the flagged ones are the shortcuts the
+// analyzer exists to reject.
+package mapsnap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type key struct {
+	Subsystem string
+	Name      string
+}
+
+type registry struct {
+	metrics map[key]uint64
+}
+
+type event struct {
+	Name  string
+	Value uint64
+}
+
+type sink interface {
+	Emit(ev event)
+}
+
+// Snapshot is the canonical export idiom: collect keys, sort, then build
+// the row slice in sorted order.
+func (r *registry) Snapshot() []event {
+	keys := make([]key, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Subsystem != keys[j].Subsystem {
+			return keys[i].Subsystem < keys[j].Subsystem
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	out := make([]event, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, event{Name: k.Subsystem + "/" + k.Name, Value: r.metrics[k]})
+	}
+	return out
+}
+
+// DumpUnsorted writes rows straight out of map iteration: different
+// order every run.
+func (r *registry) DumpUnsorted(w io.Writer) {
+	for k, v := range r.metrics { // want maporder
+		fmt.Fprintf(w, "%s/%s,%d\n", k.Subsystem, k.Name, v)
+	}
+}
+
+// RowsUnsorted lets the map-ordered row slice escape without a sort.
+func (r *registry) RowsUnsorted() []event {
+	var out []event
+	for k, v := range r.metrics { // want maporder
+		out = append(out, event{Name: k.Name, Value: v})
+	}
+	return out
+}
+
+// EmitUnsorted pushes one event per metric in map order; events carry
+// sequence numbers, so this bakes map order into the output.
+func (r *registry) EmitUnsorted(s sink) {
+	for k, v := range r.metrics { // want maporder
+		s.Emit(event{Name: k.Name, Value: v})
+	}
+}
+
+// EmitSorted is the compliant version of the same loop.
+func (r *registry) EmitSorted(s sink) {
+	keys := make([]key, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Name < keys[j].Name })
+	for _, k := range keys {
+		s.Emit(event{Name: k.Name, Value: r.metrics[k]})
+	}
+}

@@ -8,7 +8,11 @@
 // and demand misses (Fig. 8c of the paper reports exactly this number).
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"iatsim/internal/telemetry"
+)
 
 // Config describes the memory subsystem. XeonGold6140 in package sim supplies
 // the values for the paper's testbed (six DDR4-2666 channels).
@@ -71,6 +75,24 @@ type Controller struct {
 	// epoch window for the utilisation estimate
 	epochBytes float64
 	epochCapB  float64 // bytes the channels can move in the current epoch
+
+	telReadLat  *telemetry.Histogram // nil when uninstrumented
+	telWriteLat *telemetry.Histogram
+}
+
+// latencyBounds buckets the controller's returned latencies. The model
+// yields BaseLatencyNS..~(1+MaxUtil-queue)x multiples, so the edges span
+// the unloaded latency up to deep saturation.
+var latencyBounds = []float64{60, 90, 120, 180, 240, 360, 480, 720, 960}
+
+// AttachTelemetry resolves the request-latency histograms from s
+// (nil-safe).
+func (c *Controller) AttachTelemetry(s telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	c.telReadLat = s.Histogram("mem", "", "read_latency_ns", latencyBounds)
+	c.telWriteLat = s.Histogram("mem", "", "write_latency_ns", latencyBounds)
 }
 
 // NewController builds a controller from cfg, filling zero fields with
@@ -129,7 +151,9 @@ func (c *Controller) Read(n int) float64 {
 	c.stats.BytesRead += uint64(n)
 	c.stats.Reads++
 	c.epochBytes += float64(n)
-	return c.cfg.BaseLatencyNS * (1 + c.queue())
+	lat := c.cfg.BaseLatencyNS * (1 + c.queue())
+	c.telReadLat.Observe(lat)
+	return lat
 }
 
 // Write records a DRAM write of n bytes and returns its latency in
@@ -139,7 +163,9 @@ func (c *Controller) Write(n int) float64 {
 	c.stats.BytesWritten += uint64(n)
 	c.stats.Writes++
 	c.epochBytes += float64(n)
-	return c.cfg.WriteLatencyNS * (1 + c.queue())
+	lat := c.cfg.WriteLatencyNS * (1 + c.queue())
+	c.telWriteLat.Observe(lat)
+	return lat
 }
 
 // Stats returns a snapshot of the cumulative counters.

@@ -16,6 +16,7 @@ import (
 	"iatsim/internal/addr"
 	"iatsim/internal/ddio"
 	"iatsim/internal/pkt"
+	"iatsim/internal/telemetry"
 )
 
 // BufSize is the size of one pool buffer: 2KB holds an MTU frame, matching
@@ -174,6 +175,17 @@ type VF struct {
 	postedOK []bool
 
 	Stats VFStats
+	tel   vfTel
+}
+
+// vfTel is the VF's telemetry handle set; all-nil when uninstrumented
+// (every touch is then a single nil-check branch).
+type vfTel struct {
+	rxPackets *telemetry.Counter
+	rxDrops   *telemetry.Counter // ring full or pool empty at arrival
+	txPackets *telemetry.Counter
+	rxOcc     *telemetry.Gauge // Rx descriptor-ring occupancy after the touch
+	txOcc     *telemetry.Gauge // Tx descriptor-ring occupancy after a drain
 }
 
 // ReplenishRx posts a fresh pool buffer to Rx slot i (the driver work a
@@ -268,6 +280,23 @@ func NewDevice(cfg Config, eng *ddio.Engine, al *addr.Allocator) *Device {
 	return d
 }
 
+// AttachTelemetry resolves per-VF counters and ring-occupancy gauges
+// from s, scoped by VF name (nil-safe).
+func (d *Device) AttachTelemetry(s telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	for _, vf := range d.vfs {
+		vf.tel = vfTel{
+			rxPackets: s.Counter("nic", vf.Name, "rx_packets"),
+			rxDrops:   s.Counter("nic", vf.Name, "rx_drops"),
+			txPackets: s.Counter("nic", vf.Name, "tx_packets"),
+			rxOcc:     s.Gauge("nic", vf.Name, "rx_ring_occupancy"),
+			txOcc:     s.Gauge("nic", vf.Name, "tx_ring_occupancy"),
+		}
+	}
+}
+
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
@@ -285,12 +314,14 @@ func (d *Device) DeliverRx(i int, p pkt.Packet, nowNS float64) bool {
 	vf := d.vfs[i]
 	if vf.Rx.Full() {
 		vf.Stats.RxDrops++
+		vf.tel.rxDrops.Inc()
 		return false
 	}
 	slot := int(vf.Rx.head % uint64(vf.Rx.entries))
 	if !vf.postedOK[slot] {
 		// No buffer posted (pool exhausted at replenish time).
 		vf.Stats.RxDrops++
+		vf.tel.rxDrops.Inc()
 		return false
 	}
 	buf := vf.posted[slot]
@@ -302,6 +333,8 @@ func (d *Device) DeliverRx(i int, p pkt.Packet, nowNS float64) bool {
 	d.dmaWrite(vf.Rx.DescAddr(slot), addr.LineSize, vf.ConsumerCore)
 	vf.Stats.RxPackets++
 	vf.Stats.RxBytes += uint64(p.Size)
+	vf.tel.rxPackets.Inc()
+	vf.tel.rxOcc.Set(float64(vf.Rx.Len()))
 	return true
 }
 
@@ -325,10 +358,14 @@ func (d *Device) DrainTx(i int, dtNS float64) int {
 		vf.Pool.Put(e.Buf)
 		vf.Stats.TxPackets++
 		vf.Stats.TxBytes += uint64(e.Pkt.Size)
+		vf.tel.txPackets.Inc()
 		sent++
 		if d.OnTx != nil {
 			d.OnTx(i, e)
 		}
+	}
+	if sent > 0 {
+		vf.tel.txOcc.Set(float64(vf.Tx.Len()))
 	}
 	return sent
 }

@@ -13,6 +13,7 @@ import (
 
 	"iatsim/internal/addr"
 	"iatsim/internal/ddio"
+	"iatsim/internal/telemetry"
 )
 
 // Opcode is an NVMe command opcode (the two that matter for the cache
@@ -106,6 +107,26 @@ type Device struct {
 
 	// txAcc paces data transfers at the device's bandwidth.
 	txAcc float64
+
+	telReadLat  *telemetry.Histogram // submit-to-completion, ns; nil when uninstrumented
+	telWriteLat *telemetry.Histogram
+	telQFull    *telemetry.Counter
+}
+
+// cmdLatencyBounds buckets submit-to-completion latencies: media
+// latencies sit at ~20us (write) and ~80us (read); the upper edges catch
+// bandwidth-throttled completions.
+var cmdLatencyBounds = []float64{20e3, 40e3, 80e3, 120e3, 200e3, 400e3, 800e3, 1.6e6}
+
+// AttachTelemetry resolves per-device latency histograms and the
+// queue-full counter from s, scoped by device name (nil-safe).
+func (d *Device) AttachTelemetry(s telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	d.telReadLat = s.Histogram("nvme", d.cfg.Name, "read_latency_ns", cmdLatencyBounds)
+	d.telWriteLat = s.Histogram("nvme", d.cfg.Name, "write_latency_ns", cmdLatencyBounds)
+	d.telQFull = s.Counter("nvme", d.cfg.Name, "queue_full")
 }
 
 // New builds a device with n queue pairs, allocating CQ rings from al and
@@ -148,6 +169,7 @@ func (d *Device) Submit(i int, cmd Command, nowNS float64) bool {
 	qp := d.qps[i]
 	if qp.Outstanding() >= d.cfg.QueueDepth {
 		d.stats.QueueFull++
+		d.telQFull.Inc()
 		return false
 	}
 	cmd.SubmitNS = nowNS
@@ -189,6 +211,11 @@ func (d *Device) Tick(nowNS, dtNS float64) {
 			slot := int(qp.reaped+uint64(len(qp.completed))) % d.cfg.QueueDepth
 			d.eng.DeviceWrite(qp.cqRegion.Line(slot), addr.LineSize, qp.ConsumerCore)
 			c.CompleteNS = nowNS
+			if c.Cmd.Op == Read {
+				d.telReadLat.Observe(nowNS - c.Cmd.SubmitNS)
+			} else {
+				d.telWriteLat.Observe(nowNS - c.Cmd.SubmitNS)
+			}
 			qp.completed = append(qp.completed, c)
 		}
 		qp.inflight = remaining

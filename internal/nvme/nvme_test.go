@@ -8,6 +8,7 @@ import (
 	"iatsim/internal/ddio"
 	"iatsim/internal/mem"
 	"iatsim/internal/msr"
+	"iatsim/internal/telemetry"
 )
 
 func newDevice(t *testing.T, cfg Config) (*Device, *cache.Hierarchy, *mem.Controller) {
@@ -131,4 +132,57 @@ func TestReapRespectsMax(t *testing.T) {
 	if n := len(d.Reap(0, 4)); n != 2 {
 		t.Fatalf("reaped %d, want 2", n)
 	}
+}
+
+func TestTelemetryLatencyHistograms(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.ReadLatencyNS = 1000
+	d, _, _ := newDevice(t, cfg)
+	reg := telemetry.NewRegistry()
+	d.AttachTelemetry(reg)
+	d.Submit(0, Command{Op: Read, Bytes: 512, Buf: 0x900000}, 0)
+	d.Submit(0, Command{Op: Write, Bytes: 512, Buf: 0x901000}, 0)
+	d.Tick(1e6, 1e6)
+	d.Reap(0, 8)
+
+	find := func(name string) *telemetry.HistogramData {
+		for _, m := range reg.Snapshot(1e6).Metrics {
+			if m.Subsystem == "nvme" && m.Scope == "ssd0" && m.Name == name {
+				return m.Hist
+			}
+		}
+		return nil
+	}
+	r := find("read_latency_ns")
+	if r == nil || r.Count != 1 {
+		t.Fatalf("read latency histogram = %+v, want 1 sample", r)
+	}
+	// Completion latency includes the media latency.
+	if r.Sum < float64(cfg.ReadLatencyNS) {
+		t.Fatalf("read latency sum %v < media latency %v", r.Sum, cfg.ReadLatencyNS)
+	}
+	if w := find("write_latency_ns"); w == nil || w.Count != 1 {
+		t.Fatalf("write latency histogram = %+v, want 1 sample", w)
+	}
+}
+
+func TestTelemetryQueueFull(t *testing.T) {
+	cfg := DefaultConfig("ssd0")
+	cfg.QueueDepth = 1
+	d, _, _ := newDevice(t, cfg)
+	reg := telemetry.NewRegistry()
+	d.AttachTelemetry(reg)
+	d.Submit(0, Command{Op: Read, Bytes: 512, Buf: 0xB00000}, 0)
+	if d.Submit(0, Command{Op: Read, Bytes: 512, Buf: 0xB01000}, 0) {
+		t.Fatal("second submit should hit the queue-depth limit")
+	}
+	for _, m := range reg.Snapshot(0).Metrics {
+		if m.Name == "queue_full" {
+			if m.Counter != 1 {
+				t.Fatalf("queue_full = %d, want 1", m.Counter)
+			}
+			return
+		}
+	}
+	t.Fatal("no queue_full counter in snapshot")
 }

@@ -10,6 +10,7 @@ import (
 	"iatsim/internal/msr"
 	"iatsim/internal/nic"
 	"iatsim/internal/rdt"
+	"iatsim/internal/telemetry"
 	"iatsim/internal/tgen"
 )
 
@@ -59,6 +60,8 @@ type Platform struct {
 
 	ambientAcc  float64
 	ambientRand uint64
+
+	tel telemetry.Sink // nil unless AttachTelemetry was called
 
 	nowNS float64
 }
@@ -120,9 +123,34 @@ func (p *Platform) wireCounters() {
 	}
 }
 
+// AttachTelemetry wires the sink through every assembled layer: the
+// LLC's per-slice counters, the memory controller's latency histograms,
+// the DDIO engine's datapath counters, and every already-attached NIC.
+// Devices added later are wired by AddDevice; externally constructed
+// devices (e.g. NVMe) attach themselves via Telemetry(). Passing nil is
+// a no-op, keeping every hot path on its zero-cost branch.
+func (p *Platform) AttachTelemetry(s telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	p.tel = s
+	p.Hier.LLC().AttachTelemetry(s)
+	p.Mem.AttachTelemetry(s)
+	p.DDIO.AttachTelemetry(s)
+	for _, d := range p.devices {
+		d.AttachTelemetry(s)
+	}
+}
+
+// Telemetry returns the attached sink (nil when uninstrumented).
+func (p *Platform) Telemetry() telemetry.Sink { return p.tel }
+
 // AddDevice attaches a NIC.
 func (p *Platform) AddDevice(cfg nic.Config) *nic.Device {
 	d := nic.NewDevice(cfg, p.DDIO, p.Alloc)
+	if p.tel != nil {
+		d.AttachTelemetry(p.tel)
+	}
 	p.devices = append(p.devices, d)
 	return d
 }

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV renders the snapshot's metrics as CSV with one row per
+// scalar. Counters and gauges are single rows with an empty bucket
+// column; each histogram expands to a "count" row, a "sum" row, one
+// "le:<bound>" row per bucket, and a final "le:+Inf" row. Rows follow
+// snapshot order, i.e. sorted by (subsystem, scope, name).
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ns", "subsystem", "scope", "name", "kind", "bucket", "value"}); err != nil {
+		return err
+	}
+	ts := formatFloat(s.TimeNS)
+	row := func(m Metric, bucket, value string) error {
+		return cw.Write([]string{ts, m.Subsystem, m.Scope, m.Name, m.Kind.String(), bucket, value})
+	}
+	for _, m := range s.Metrics {
+		var err error
+		switch m.Kind {
+		case KindCounter:
+			err = row(m, "", strconv.FormatUint(m.Counter, 10))
+		case KindGauge:
+			err = row(m, "", formatFloat(m.Gauge))
+		case KindHistogram:
+			if err = row(m, "count", strconv.FormatUint(m.Hist.Count, 10)); err != nil {
+				return err
+			}
+			if err = row(m, "sum", formatFloat(m.Hist.Sum)); err != nil {
+				return err
+			}
+			for i, b := range m.Hist.Bounds {
+				if err = row(m, "le:"+formatFloat(b), strconv.FormatUint(m.Hist.Counts[i], 10)); err != nil {
+					return err
+				}
+			}
+			err = row(m, "le:+Inf", strconv.FormatUint(m.Hist.Counts[len(m.Hist.Bounds)], 10))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSON renders the snapshot as indented JSON. The encoding is
+// deterministic: Snapshot is slices-only, and struct fields marshal in
+// declaration order.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// chromeTraceEvent is one entry of the Chrome trace_event format
+// (Perfetto / chrome://tracing "JSON Object Format"). Only the fields
+// we emit are modeled.
+type chromeTraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeTraceEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the snapshot as Chrome trace_event JSON
+// loadable by Perfetto or chrome://tracing: a process-name metadata
+// record, every ring event as an instant event ("i", categorized by
+// subsystem), and every counter/gauge as a "C" counter sample at the
+// snapshot time. Output order is deterministic: metadata, then events
+// in emission order, then metrics in snapshot order.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	t := chromeTrace{TraceEvents: []chromeTraceEvent{{
+		Name: "process_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "iatsim"},
+	}}}
+	for _, ev := range s.Events {
+		name := ev.Name
+		if ev.Detail != "" {
+			name += " " + ev.Detail
+		}
+		t.TraceEvents = append(t.TraceEvents, chromeTraceEvent{
+			Name: name, Phase: "i", TS: ev.TimeNS / 1e3, PID: 1, TID: 1,
+			Cat: ev.Subsystem, Scope: "p",
+			Args: map[string]any{"sev": ev.Sev.String()},
+		})
+	}
+	for _, m := range s.Metrics {
+		var v float64
+		switch m.Kind {
+		case KindCounter:
+			v = float64(m.Counter)
+		case KindGauge:
+			v = m.Gauge
+		default:
+			continue // histograms have no counter-track rendering
+		}
+		name := m.Subsystem + "/" + m.Name
+		if m.Scope != "" {
+			name = m.Subsystem + "/" + m.Scope + "/" + m.Name
+		}
+		t.TraceEvents = append(t.TraceEvents, chromeTraceEvent{
+			Name: name, Phase: "C", TS: s.TimeNS / 1e3, PID: 1, TID: 1,
+			Cat:  m.Subsystem,
+			Args: map[string]any{"value": v},
+		})
+	}
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteFiles writes the snapshot in all three formats: base.csv,
+// base.json, and base.trace.json.
+func (s *Snapshot) WriteFiles(base string) error {
+	if dir := filepath.Dir(base); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	write := func(path string, render func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(base+".csv", s.WriteCSV); err != nil {
+		return err
+	}
+	if err := write(base+".json", s.WriteJSON); err != nil {
+		return err
+	}
+	return write(base+".trace.json", s.WriteChromeTrace)
+}
+
+// ReadSnapshotFile loads and validates a snapshot JSON file written by
+// WriteJSON/WriteFiles.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return &s, nil
+}
+
+// ValidateSnapshotJSON checks that data is a well-formed snapshot file:
+// it unmarshals and passes Snapshot.Validate.
+func ValidateSnapshotJSON(data []byte) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	return s.Validate()
+}
+
+// ValidateChromeTrace structurally checks Chrome trace_event JSON as
+// Perfetto's JSON importer would: a traceEvents array whose entries all
+// carry a name, a known phase, a finite ts, and pid/tid.
+func ValidateChromeTrace(data []byte) error {
+	var t struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return err
+	}
+	if t.TraceEvents == nil {
+		return fmt.Errorf("telemetry: no traceEvents array")
+	}
+	for i, ev := range t.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return fmt.Errorf("telemetry: traceEvents[%d] has no name", i)
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M": // metadata: no ts required
+		case "i", "C", "B", "E", "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("telemetry: traceEvents[%d] (%s) has no numeric ts", i, name)
+			}
+		default:
+			return fmt.Errorf("telemetry: traceEvents[%d] (%s) has unsupported phase %q", i, name, ph)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("telemetry: traceEvents[%d] (%s) has no pid", i, name)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			return fmt.Errorf("telemetry: traceEvents[%d] (%s) has no tid", i, name)
+		}
+	}
+	return nil
+}

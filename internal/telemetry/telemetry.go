@@ -1,0 +1,329 @@
+// Package telemetry is the simulator's measurement plane: a typed
+// metrics registry (counters, gauges, fixed-bucket histograms keyed by
+// subsystem/scope/name), a bounded structured-event ring stamped with
+// sim time only, snapshots with stable ordering, exporters (CSV, JSON,
+// Chrome trace_event), and snapshot diffing.
+//
+// The package is built for two call sites with very different budgets:
+//
+//   - Hot simulation paths (cache.Access, mem.Read, nic.DeliverRx) hold
+//     *Counter/*Gauge/*Histogram handles resolved once at attach time.
+//     Every handle method is nil-receiver-safe, so an uninstrumented
+//     run costs exactly one predictable branch per metric touch and
+//     zero allocations (asserted by testing.AllocsPerRun in
+//     internal/cache).
+//   - Cold paths (experiment runners, cmd/iatd) talk to the Registry
+//     through the Sink interface to create handles, emit events, and
+//     cut Snapshots.
+//
+// Everything here is deterministic: no wall clock, no global rand, no
+// goroutines (detlint-enforced), and every export iterates sorted keys
+// (maporder-enforced), so same-seed runs produce byte-identical
+// snapshot files at any worker count.
+package telemetry
+
+import "sort"
+
+// Kind discriminates metric types in snapshots and exports.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Key identifies a metric: which model (subsystem), which instance or
+// tenant/CLOS within it (scope, may be empty), and what is measured
+// (name).
+type Key struct {
+	Subsystem string
+	Scope     string
+	Name      string
+}
+
+func keyLess(a, b Key) bool {
+	if a.Subsystem != b.Subsystem {
+		return a.Subsystem < b.Subsystem
+	}
+	if a.Scope != b.Scope {
+		return a.Scope < b.Scope
+	}
+	return a.Name < b.Name
+}
+
+// Counter is a monotonically increasing uint64. The zero handle (nil)
+// is valid and free: every method no-ops.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins float64. The nil handle no-ops.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add adjusts the current value by d.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.v += d
+	}
+}
+
+// Value returns the last value set (0 for a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: bounds are upper-inclusive
+// bucket edges, with an implicit +Inf bucket after the last bound. The
+// nil handle no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples observed (0 for a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the running sum of samples (0 for a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Sink is what instrumented components see. Components must tolerate a
+// nil Sink (skip attach) and, because *Registry's methods are themselves
+// nil-receiver-safe, a typed-nil Sink degrades to nil handles rather
+// than panicking.
+type Sink interface {
+	// Counter/Gauge/Histogram return the handle for a key, creating
+	// it on first use. Histogram bounds are fixed by the first caller.
+	Counter(subsystem, scope, name string) *Counter
+	Gauge(subsystem, scope, name string) *Gauge
+	Histogram(subsystem, scope, name string, bounds []float64) *Histogram
+	// Emit appends a structured event to the ring (see Event). The
+	// caller stamps sim time; the sink assigns the sequence number.
+	Emit(ev Event)
+}
+
+// DefaultEventCapacity bounds the event ring of a Registry built by
+// NewRegistry. Oldest events are overwritten once full (Dropped counts
+// them), keeping memory constant over arbitrarily long runs.
+const DefaultEventCapacity = 4096
+
+// Registry is the concrete Sink. It is not safe for concurrent use —
+// the simulator is single-threaded by design, and the harness gives
+// each parallel job its own Registry.
+type Registry struct {
+	metrics map[Key]*metric
+	ring    ring
+}
+
+type metric struct {
+	kind Kind
+	c    Counter
+	g    Gauge
+	h    Histogram
+}
+
+// NewRegistry returns an empty registry with DefaultEventCapacity.
+func NewRegistry() *Registry { return NewRegistrySized(DefaultEventCapacity) }
+
+// NewRegistrySized returns an empty registry whose event ring holds up
+// to events entries (events <= 0 disables event capture entirely).
+func NewRegistrySized(events int) *Registry {
+	return &Registry{
+		metrics: make(map[Key]*metric),
+		ring:    newRing(events),
+	}
+}
+
+// get returns the metric for k, creating it with kind on first use. A
+// key re-registered under a different kind returns nil handles rather
+// than corrupting the first registrant's data.
+func (r *Registry) get(k Key, kind Kind) *metric {
+	m, ok := r.metrics[k]
+	if !ok {
+		m = &metric{kind: kind}
+		r.metrics[k] = m
+	}
+	if m.kind != kind {
+		return nil
+	}
+	return m
+}
+
+// Counter implements Sink. Nil-receiver-safe: returns a nil handle.
+func (r *Registry) Counter(subsystem, scope, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.get(Key{subsystem, scope, name}, KindCounter)
+	if m == nil {
+		return nil
+	}
+	return &m.c
+}
+
+// Gauge implements Sink. Nil-receiver-safe: returns a nil handle.
+func (r *Registry) Gauge(subsystem, scope, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.get(Key{subsystem, scope, name}, KindGauge)
+	if m == nil {
+		return nil
+	}
+	return &m.g
+}
+
+// Histogram implements Sink. Bounds must be sorted ascending; they are
+// copied and fixed by the first registration of the key. Nil-receiver-
+// safe: returns a nil handle.
+func (r *Registry) Histogram(subsystem, scope, name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.get(Key{subsystem, scope, name}, KindHistogram)
+	if m == nil {
+		return nil
+	}
+	if m.h.counts == nil {
+		m.h.bounds = append([]float64(nil), bounds...)
+		m.h.counts = make([]uint64, len(bounds)+1)
+	}
+	return &m.h
+}
+
+// Emit implements Sink: appends ev to the ring, stamping its sequence
+// number. Nil-receiver-safe.
+func (r *Registry) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.ring.push(ev)
+}
+
+// Events returns the ring contents in emission order, filtered by
+// minimum severity and (if non-empty) subsystem.
+func (r *Registry) Events(minSev Severity, subsystem string) []Event {
+	if r == nil {
+		return nil
+	}
+	return r.ring.events(minSev, subsystem)
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (r *Registry) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ring.dropped
+}
+
+// Snapshot captures every metric and the full event ring at sim time
+// timeNS. Metrics are sorted by (subsystem, scope, name); histogram
+// state is deep-copied, so the snapshot is immutable even if the
+// registry keeps accumulating.
+func (r *Registry) Snapshot(timeNS float64) *Snapshot {
+	if r == nil {
+		return nil
+	}
+	keys := make([]Key, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	s := &Snapshot{
+		TimeNS:        timeNS,
+		Metrics:       make([]Metric, 0, len(keys)),
+		Events:        r.ring.events(SevDebug, ""),
+		EventsDropped: r.ring.dropped,
+	}
+	for _, k := range keys {
+		m := r.metrics[k]
+		sm := Metric{Subsystem: k.Subsystem, Scope: k.Scope, Name: k.Name, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			sm.Counter = m.c.v
+		case KindGauge:
+			sm.Gauge = m.g.v
+		case KindHistogram:
+			sm.Hist = &HistogramData{
+				Bounds: append([]float64(nil), m.h.bounds...),
+				Counts: append([]uint64(nil), m.h.counts...),
+				Count:  m.h.count,
+				Sum:    m.h.sum,
+			}
+		}
+		s.Metrics = append(s.Metrics, sm)
+	}
+	return s
+}
