@@ -7,9 +7,9 @@ GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: all build lint simlint vet fmtcheck test race smoke telemetry-smoke determinism scaling clean
+.PHONY: all build lint simlint vet fmtcheck test race smoke telemetry-smoke chaos-smoke determinism scaling clean
 
-all: build lint test telemetry-smoke
+all: build lint test telemetry-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,19 @@ telemetry-smoke: build
 	$(GO) run ./cmd/iatstat $(TMP)/tel/fig8_pkt_64_iat.json > /dev/null
 	$(GO) run ./cmd/iatstat -diff $(TMP)/tel/fig8_pkt_64_baseline.json $(TMP)/tel/fig8_pkt_64_iat.json > /dev/null
 	@echo "telemetry-smoke OK: $(TMP)/tel"
+
+# chaos-smoke: the stability-under-faults experiment under the race
+# detector, at 1 worker vs $(JOBS) workers. Fault schedules derive from
+# the manifest seed (never from scheduling), so the two CSVs must be
+# byte-identical — and the run doubles as the "hardened daemon survives
+# the default fault profile" gate (a failed job fails the make).
+chaos-smoke: build
+	rm -rf $(TMP)/chaos1 $(TMP)/chaosN && mkdir -p $(TMP)/chaos1 $(TMP)/chaosN
+	$(GO) run -race ./cmd/experiments -chaos default -jobs 1 -csv $(TMP)/chaos1 -json $(TMP)/chaos1 > /dev/null
+	$(GO) run -race ./cmd/experiments -chaos default -jobs $(JOBS) -csv $(TMP)/chaosN -json $(TMP)/chaosN > /dev/null
+	cmp $(TMP)/chaos1/chaos.csv $(TMP)/chaosN/chaos.csv
+	grep -q '"failures": 0' $(TMP)/chaosN/manifest.json
+	@echo "chaos-smoke OK: jobs=1 == jobs=$(JOBS) under -race"
 
 # determinism: -all at 1 worker vs 8 workers must emit byte-identical CSV
 # rows. fig15.csv is excluded: it measures host wall-clock time (the

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"iatsim/internal/exp"
+	"iatsim/internal/faults"
 	"iatsim/internal/harness"
 )
 
@@ -48,12 +49,25 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of sweep points to simulate concurrently")
 	seed := flag.Int64("seed", 0, "base RNG seed; 0 selects the canonical per-point seeds used by results/")
 	retries := flag.Int("retries", 0, "re-run a crashed sweep point up to this many times before reporting it failed")
+	chaos := flag.String("chaos", "", "run the stability-under-faults experiment with this fault profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
 	flag.Parse()
 
 	want, selectors, err := parseSelectors(*figs, *tabs, *all, *ablations)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
+	}
+	if *chaos != "" {
+		// Validate the profile up front: a typo must fail fast, not after
+		// an hour of figure regeneration. Chaos is deliberately NOT part
+		// of -all — committed results stay fault-free.
+		if _, err := faults.ProfileByName(*chaos); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		want["chaos"] = true
+		selectors = append(selectors, "chaos")
+		sort.Strings(selectors)
 	}
 	if len(want) == 0 {
 		flag.Usage()
@@ -66,7 +80,7 @@ func main() {
 
 	manifest := harness.NewManifest(harness.RunOptions{
 		Jobs: *jobs, Seed: *seed, Retries: *retries,
-		Selectors: selectors, Full: *full,
+		Selectors: selectors, Full: *full, Chaos: *chaos,
 	})
 	exp.SetExec(exp.Exec{
 		Jobs: *jobs, Seed: *seed, Retries: *retries,
@@ -112,6 +126,7 @@ func main() {
 	run("abl-remote", func() any { return exp.RunAblationRemoteSocket(w, 100) })
 	run("abl-sens", func() any { return exp.RunSensitivity(w, 100) })
 	run("abl-resq", func() any { return exp.RunAblationResQ(w, 100) })
+	run("chaos", func() any { return exp.RunChaos(w, chaosOpts(*full, *chaos)) })
 
 	manifest.Finish()
 	if *jsonDir != "" {
@@ -236,6 +251,15 @@ func fig13Opts(full bool) exp.Fig12Opts {
 	if !full {
 		o.Apps = []string{"quick"} // A and C only
 		o.Nets = []string{"redis"}
+	}
+	return o
+}
+
+func chaosOpts(full bool, profile string) exp.ChaosOpts {
+	o := exp.DefaultChaosOpts()
+	o.Profile = profile
+	if full {
+		o.Scales = []float64{0, 0.5, 1, 2, 4, 8}
 	}
 	return o
 }

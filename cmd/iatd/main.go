@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,10 +21,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 
 	"iatsim/internal/bridge"
 	"iatsim/internal/cache"
 	"iatsim/internal/core"
+	"iatsim/internal/faults"
 	"iatsim/internal/nic"
 	"iatsim/internal/nvme"
 	"iatsim/internal/pkt"
@@ -35,8 +38,20 @@ import (
 	"iatsim/internal/workload"
 )
 
+// usageError marks a bad invocation (invalid flag value, unusable output
+// directory): main reports it on stderr and exits 2, like flag.ErrHelp,
+// instead of the exit-1 runtime-failure path.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintf(os.Stderr, "iatd: %v\n", err)
+			os.Exit(2)
+		}
 		if err == flag.ErrHelp {
 			os.Exit(2)
 		}
@@ -55,12 +70,38 @@ func run(args []string, stdout io.Writer) error {
 	scale := fs.Float64("scale", 100, "simulation scale factor")
 	tracePath := fs.String("trace", "", "write a per-iteration CSV trace to this file")
 	telDir := fs.String("telemetry", "", "collect telemetry and write <dir>/snapshot.{json,csv,trace.json} at exit")
+	chaos := fs.String("chaos", "", "inject deterministic faults from this profile ("+joinNames()+" or kind=rate,... spec)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault-injection schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tenantsPath == "" {
 		fs.Usage()
 		return flag.ErrHelp
+	}
+	// Validate every flag before assembling anything: a bad value must fail
+	// fast with a clear message, not crash mid-run or — worse for -telemetry
+	// — complete a multi-minute simulation and then fail to write it out.
+	if *duration <= 0 {
+		return usageError{fmt.Sprintf("-duration must be positive (got %g)", *duration)}
+	}
+	if *interval <= 0 {
+		return usageError{fmt.Sprintf("-interval must be positive (got %g)", *interval)}
+	}
+	if *scale <= 0 {
+		return usageError{fmt.Sprintf("-scale must be positive (got %g)", *scale)}
+	}
+	var prof faults.Profile
+	if *chaos != "" {
+		var err error
+		if prof, err = faults.ProfileByName(*chaos); err != nil {
+			return usageError{fmt.Sprintf("-chaos: %v", err)}
+		}
+	}
+	if *telDir != "" {
+		if err := ensureWritableDir(*telDir); err != nil {
+			return usageError{fmt.Sprintf("-telemetry: %v", err)}
+		}
 	}
 	f, err := os.Open(*tenantsPath)
 	if err != nil {
@@ -122,6 +163,21 @@ func run(args []string, stdout io.Writer) error {
 			it.NowNS/1e9, it.State, it.Action, it.DDIOMask, it.Masks)
 	}
 
+	// Arm the injector only after the machine is assembled: construction-time
+	// mask programming is not part of the fault surface.
+	inj := faults.NewInjector(prof, *chaosSeed)
+	if prof.Active() {
+		if tel != nil {
+			inj.AttachTelemetry(tel, p.NowNS)
+		}
+		p.MSR.SetFaultHook(inj)
+		for _, dev := range p.Devices() {
+			dev.SetFaults(inj)
+		}
+		p.SetPollFaults(inj)
+		fmt.Fprintf(stdout, "iatd: chaos profile %q armed (seed %d)\n", *chaos, *chaosSeed)
+	}
+
 	fmt.Fprintf(stdout, "iatd: %d tenants, %d events, %d ways, interval %.2fs, running %.0fs of simulated time\n",
 		len(entries), len(events), p.RDT.NumWays(), *interval, *duration)
 	runWithEvents(p, daemon, events, xmems, *duration*1e9, stdout)
@@ -129,10 +185,12 @@ func run(args []string, stdout io.Writer) error {
 	total, unstable := daemon.Iterations()
 	fmt.Fprintf(stdout, "iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
 		total, unstable, daemon.State(), p.RDT.DDIOMask())
+	if prof.Active() {
+		h := daemon.Health()
+		fmt.Fprintf(stdout, "iatd: chaos: %d faults injected; health: rejects=%d retries=%d wfail=%d degradations=%d rearms=%d degraded=%v\n",
+			inj.Total(), h.SampleRejects, h.WriteRetries, h.WriteFailures, h.Degradations, h.Rearms, h.Degraded)
+	}
 	if tel != nil {
-		if err := os.MkdirAll(*telDir, 0o755); err != nil {
-			return err
-		}
 		base := filepath.Join(*telDir, "snapshot")
 		if err := tel.Snapshot(p.NowNS()).WriteFiles(base); err != nil {
 			return err
@@ -140,6 +198,28 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "iatd: telemetry snapshot written to %s.{json,csv,trace.json}\n", base)
 	}
 	return nil
+}
+
+// joinNames lists the named fault profiles for the -chaos flag help.
+func joinNames() string {
+	return strings.Join(faults.ProfileNames(), ",")
+}
+
+// ensureWritableDir creates dir if needed and probes that files can
+// actually be created in it, so a typo'd or read-only -telemetry target is
+// caught before the simulation runs rather than when the snapshot is
+// written at exit.
+func ensureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".iatd-probe-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // build assembles tenants and their workloads onto the platform, packing

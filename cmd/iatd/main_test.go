@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -117,5 +118,102 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"-tenants", "/nonexistent/tenants.conf"}, &out); err == nil {
 		t.Fatal("nonexistent tenant file should error")
+	}
+}
+
+// TestFlagValidation: bad flag values are rejected up front as usage
+// errors (exit 2), with a message naming the flag, before any simulation
+// work happens.
+func TestFlagValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero interval", []string{"-tenants", path, "-interval", "0"}, "-interval"},
+		{"negative duration", []string{"-tenants", path, "-duration", "-1"}, "-duration"},
+		{"zero scale", []string{"-tenants", path, "-scale", "0"}, "-scale"},
+		{"bad chaos profile", []string{"-tenants", path, "-chaos", "nosuch"}, "-chaos"},
+		{"bad chaos spec", []string{"-tenants", path, "-chaos", "msr-reject=2.5"}, "-chaos"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: err = %v, want usageError", tc.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: message %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTelemetryDirValidation: an unwritable -telemetry target fails fast
+// as a usage error instead of after the whole run.
+func TestTelemetryDirValidation(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro := filepath.Join(dir, "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-tenants", path, "-telemetry", filepath.Join(ro, "tel")}, &out)
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("unwritable -telemetry: err = %v, want usageError", err)
+	}
+	if !strings.Contains(err.Error(), "-telemetry") {
+		t.Fatalf("message %q does not name -telemetry", err)
+	}
+}
+
+// TestChaosRunDeterministic: a chaos-mode run completes, reports injected
+// faults and daemon health, and is byte-identical across invocations —
+// the fault schedule derives only from -chaos-seed.
+func TestChaosRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 1s of platform time")
+	}
+	path := filepath.Join(t.TempDir(), "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chaosRun := func(seed string) string {
+		var out bytes.Buffer
+		err := run([]string{"-tenants", path, "-duration", "1", "-interval", "0.2",
+			"-chaos", "default", "-chaos-seed", seed}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	first := chaosRun("7")
+	if !strings.Contains(first, `chaos profile "default" armed`) {
+		t.Fatalf("missing chaos preamble:\n%s", first)
+	}
+	if !strings.Contains(first, "iatd: chaos:") || !strings.Contains(first, "health:") {
+		t.Fatalf("missing chaos/health summary:\n%s", first)
+	}
+	if !strings.Contains(first, "iatd: done;") {
+		t.Fatalf("run did not complete:\n%s", first)
+	}
+	if second := chaosRun("7"); first != second {
+		t.Fatalf("same chaos seed diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if other := chaosRun("8"); first == other {
+		t.Fatal("different chaos seeds produced identical output: seed is not reaching the schedule")
 	}
 }

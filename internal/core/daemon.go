@@ -38,6 +38,8 @@ type IterationInfo struct {
 	Masks      map[int]cache.WayMask // per CLOS
 	DDIOHitPS  float64
 	DDIOMissPS float64
+	// Degraded reports the safe-static-fallback mode (see Daemon.Health).
+	Degraded bool
 }
 
 // StepTimings are the wall-clock costs of the last iteration's steps,
@@ -80,6 +82,17 @@ type Daemon struct {
 	iters    uint64
 	unstable uint64
 
+	// Self-healing state (see health.go): consecutive bad iterations,
+	// consecutive sane samples while degraded, the degraded flag, the
+	// backoff-scaled re-arm requirement, and the per-iteration
+	// write-failure marker.
+	health          HealthStats
+	consecBad       int
+	saneStreak      int
+	degraded        bool
+	rearmNeed       int
+	writeFailedIter bool
+
 	// OnIteration, when set, is invoked at the end of every iteration.
 	OnIteration func(IterationInfo)
 
@@ -97,6 +110,7 @@ type Daemon struct {
 // NewDaemon builds a daemon over sys. It performs the Get Tenant Info and
 // LLC Alloc steps on the first Tick.
 func NewDaemon(sys System, p Params, opts Options) (*Daemon, error) {
+	p = p.withRobustnessDefaults()
 	if err := p.Validate(sys.NumWays()); err != nil {
 		return nil, err
 	}
@@ -318,12 +332,24 @@ func (d *Daemon) iterate(nowNS float64) {
 	if !ok {
 		return
 	}
+	// Sanity-screen the sample before it can steer the FSM or become a
+	// comparison baseline; glitched samples advance the degradation
+	// streak instead.
+	if reason := d.sampleInsane(cur); reason != "" {
+		d.rejectSample(nowNS, cur, reason)
+		return
+	}
+	if d.degraded {
+		d.degradedTick(nowNS, cur)
+		return
+	}
 	if !d.havePrevRate {
 		d.prevRates = cur
 		d.havePrevRate = true
 		return
 	}
 	d.iters++
+	d.writeFailedIter = false
 
 	ch := d.detect(cur, d.prevRates)
 	prev := d.prevRates
@@ -342,12 +368,14 @@ func (d *Daemon) iterate(nowNS float64) {
 			action = "continue: " + d.act(cur)
 		}
 		if action == "" {
+			d.finishIter()
 			d.emit(nowNS, cur, true, "stable")
 			return
 		}
 		d.unstable++
 		d.timings.Stable = false
 		d.timings.Realloc = time.Since(t1) //simlint:ignore detlint Fig. 15 re-alloc cost of a continue action; wall clock only reaches StepTimings
+		d.finishIter()
 		d.emit(nowNS, cur, false, action)
 		return
 	}
@@ -358,6 +386,7 @@ func (d *Daemon) iterate(nowNS float64) {
 	t2 := time.Now() //simlint:ignore detlint Fig. 15 transition-phase boundary; wall clock only reaches StepTimings
 	d.timings.Transition = t2.Sub(t1)
 	d.timings.Realloc = time.Since(t2) //simlint:ignore detlint Fig. 15 re-alloc cost; wall clock only reaches StepTimings
+	d.finishIter()
 	d.emit(nowNS, cur, false, action)
 }
 
@@ -637,7 +666,7 @@ func (d *Daemon) apply() bool {
 	for _, clos := range sortedCLOS(masks) {
 		m := masks[clos]
 		if d.sys.CLOSMask(clos) != m {
-			if err := d.sys.SetCLOSMask(clos, m); err == nil {
+			if d.programCLOS(clos, m) {
 				wrote = true
 				d.emitMask(fmt.Sprintf("clos%d=%v", clos, m))
 			}
@@ -646,7 +675,7 @@ func (d *Daemon) apply() bool {
 	if !d.Opts.DisableDDIOAdjust {
 		dm := cache.ContiguousMask(d.nWays-d.ddioWays, d.ddioWays)
 		if d.sys.DDIOMask() != dm {
-			if err := d.sys.SetDDIOMask(dm); err == nil {
+			if d.programDDIO(dm) {
 				wrote = true
 				d.emitMask(fmt.Sprintf("ddio=%v", dm))
 			}
@@ -701,6 +730,7 @@ func (d *Daemon) emit(nowNS float64, cur intervalSample, stable bool, action str
 		Masks:      masks,
 		DDIOHitPS:  cur.ddioHitPS,
 		DDIOMissPS: cur.ddioMissPS,
+		Degraded:   d.degraded,
 	}
 	if d.Tel != nil {
 		d.Tel.Emit(telemetry.Event{

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/telemetry"
+)
+
+// HealthStats counts the daemon's self-healing activity: rejected counter
+// samples, mask-write retries and failures, and the degrade/re-arm cycles
+// of the safe-fallback watchdog.
+type HealthStats struct {
+	SampleRejects uint64 // interval samples discarded by sanity checks
+	WriteRetries  uint64 // extra mask-write attempts after a failure
+	WriteFailures uint64 // mask writes that never verified within retries
+	Degradations  uint64 // falls back to the safe static allocation
+	Rearms        uint64 // watchdog re-arms of the FSM
+	Degraded      bool   // currently holding the safe static allocation
+}
+
+// Health returns a snapshot of the daemon's self-healing counters.
+func (d *Daemon) Health() HealthStats {
+	h := d.health
+	h.Degraded = d.degraded
+	return h
+}
+
+// sampleInsane screens one interval sample against physical plausibility,
+// returning a non-empty reason when it must be rejected: glitching counters
+// (zeroed, saturated, or wrapped mid-interval) produce rates no real LLC
+// can sustain, or miss counts exceeding reference counts.
+func (d *Daemon) sampleInsane(s intervalSample) string {
+	if s.ddioHitPS > d.P.SaneRateMax || s.ddioMissPS > d.P.SaneRateMax {
+		return fmt.Sprintf("ddio rate %.3g/%.3g exceeds %.3g/s", s.ddioHitPS, s.ddioMissPS, d.P.SaneRateMax)
+	}
+	for _, clos := range sortedCLOS(s.perGroup) {
+		g := s.perGroup[clos]
+		if g.RefsPS > d.P.SaneRateMax || g.MissPS > d.P.SaneRateMax {
+			return fmt.Sprintf("clos %d LLC rate %.3g/%.3g exceeds %.3g/s", clos, g.RefsPS, g.MissPS, d.P.SaneRateMax)
+		}
+		if g.IPC > d.P.SaneIPCMax {
+			return fmt.Sprintf("clos %d IPC %.3g exceeds %.3g", clos, g.IPC, d.P.SaneIPCMax)
+		}
+		if g.MissPS > g.RefsPS*1.01+d.P.ThresholdMissLowPerSec {
+			return fmt.Sprintf("clos %d misses %.3g/s exceed references %.3g/s", clos, g.MissPS, g.RefsPS)
+		}
+	}
+	return ""
+}
+
+// rejectSample records a rejected interval sample: the sample is not
+// adopted as the comparison baseline (prevRates is untouched), and the bad
+// streak advances toward degradation.
+func (d *Daemon) rejectSample(nowNS float64, cur intervalSample, reason string) {
+	d.health.SampleRejects++
+	d.saneStreak = 0
+	d.bumpHealth("sanity_rejects")
+	d.emitHealth(telemetry.SevWarn, "sample_reject", reason)
+	d.noteBad()
+	d.emit(nowNS, cur, false, "sample rejected: "+reason)
+}
+
+// finishIter closes one normal iteration: a write failure during it counts
+// toward degradation, a clean one resets the bad streak.
+func (d *Daemon) finishIter() {
+	if d.writeFailedIter {
+		d.noteBad()
+	} else {
+		d.consecBad = 0
+	}
+}
+
+// noteBad advances the consecutive-bad-iteration streak and degrades the
+// daemon once it reaches DegradeAfter.
+func (d *Daemon) noteBad() {
+	d.consecBad++
+	if !d.degraded && d.consecBad >= d.P.DegradeAfter {
+		d.enterDegraded()
+	}
+}
+
+// enterDegraded is the graceful-degradation fallback: the daemon stops
+// trusting its counter view, programs a conservative static DDIO
+// allocation, and waits for the watchdog to see sane reads again. Repeated
+// degradations back off exponentially (up to 8x RearmAfter) so a flapping
+// fault source cannot make the daemon thrash.
+func (d *Daemon) enterDegraded() {
+	d.degraded = true
+	d.consecBad = 0
+	d.saneStreak = 0
+	d.health.Degradations++
+	if d.rearmNeed == 0 {
+		d.rearmNeed = d.P.RearmAfter
+	} else {
+		d.rearmNeed *= 2
+		if limit := 8 * d.P.RearmAfter; d.rearmNeed > limit {
+			d.rearmNeed = limit
+		}
+	}
+	d.bumpHealth("degraded_entries")
+	d.emitHealth(telemetry.SevWarn, "degraded",
+		fmt.Sprintf("falling back to static ddio=%d ways; re-arm after %d sane samples", d.P.SafeDDIOWays, d.rearmNeed))
+	d.ddioWays = d.P.SafeDDIOWays
+	if !d.Opts.DisableDDIOAdjust {
+		d.programDDIO(cache.ContiguousMask(d.nWays-d.ddioWays, d.ddioWays))
+	}
+	d.state = LowKeep
+	// Old baselines are untrustworthy; re-baseline after re-arming.
+	d.havePrevRate = false
+}
+
+// degradedTick is one iteration under degradation: hold the safe
+// allocation until rearmNeed consecutive sane samples arrive, then re-arm
+// the FSM from a fresh baseline.
+func (d *Daemon) degradedTick(nowNS float64, cur intervalSample) {
+	d.saneStreak++
+	if d.saneStreak < d.rearmNeed {
+		d.emit(nowNS, cur, false, "degraded: holding safe allocation")
+		return
+	}
+	d.degraded = false
+	d.consecBad = 0
+	d.saneStreak = 0
+	d.health.Rearms++
+	d.bumpHealth("rearms")
+	d.emitHealth(telemetry.SevInfo, "rearmed", fmt.Sprintf("after %d sane samples", d.rearmNeed))
+	d.state = LowKeep
+	d.prevRates = cur
+	d.havePrevRate = true
+	d.emit(nowNS, cur, false, "re-armed")
+}
+
+// programCLOS writes a CLOS mask with bounded retries and read-back
+// verification, returning true once the register verifiably holds m.
+// Backoff is iteration-granular: a write that exhausts its retries is
+// retried naturally on the next iteration, because apply() re-programs any
+// register whose read-back differs from the computed layout.
+func (d *Daemon) programCLOS(clos int, m cache.WayMask) bool {
+	for attempt := 0; attempt <= d.P.WriteRetries; attempt++ {
+		if attempt > 0 {
+			d.health.WriteRetries++
+			d.bumpHealth("write_retries")
+		}
+		if err := d.sys.SetCLOSMask(clos, m); err != nil {
+			continue
+		}
+		if d.sys.CLOSMask(clos) == m {
+			return true
+		}
+	}
+	d.noteWriteFailure(fmt.Sprintf("clos%d=%v", clos, m))
+	return false
+}
+
+// programDDIO is programCLOS for the IIO_LLC_WAYS register.
+func (d *Daemon) programDDIO(m cache.WayMask) bool {
+	for attempt := 0; attempt <= d.P.WriteRetries; attempt++ {
+		if attempt > 0 {
+			d.health.WriteRetries++
+			d.bumpHealth("write_retries")
+		}
+		if err := d.sys.SetDDIOMask(m); err != nil {
+			continue
+		}
+		if d.sys.DDIOMask() == m {
+			return true
+		}
+	}
+	d.noteWriteFailure(fmt.Sprintf("ddio=%v", m))
+	return false
+}
+
+func (d *Daemon) noteWriteFailure(detail string) {
+	d.health.WriteFailures++
+	d.writeFailedIter = true
+	d.bumpHealth("write_failures")
+	d.emitHealth(telemetry.SevWarn, "write_fail", detail)
+}
+
+// bumpHealth increments a daemon-scoped health counter (nil-safe).
+func (d *Daemon) bumpHealth(name string) {
+	if d.Tel != nil {
+		d.Tel.Counter("daemon", "", name).Inc()
+	}
+}
+
+// emitHealth publishes one self-healing event.
+func (d *Daemon) emitHealth(sev telemetry.Severity, name, detail string) {
+	if d.Tel == nil {
+		return
+	}
+	d.Tel.Emit(telemetry.Event{
+		TimeNS: d.nowNS, Sev: sev,
+		Subsystem: "daemon", Name: name, Detail: detail,
+	})
+}

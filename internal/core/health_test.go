@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/telemetry"
+)
+
+// flakySys is a mockSys whose mask writes can be made to fail.
+type flakySys struct {
+	*mockSys
+	failCLOS int  // reject this many SetCLOSMask calls, then recover
+	failDDIO bool // reject every SetDDIOMask call
+}
+
+func (f *flakySys) SetCLOSMask(clos int, w cache.WayMask) error {
+	if f.failCLOS > 0 {
+		f.failCLOS--
+		return errors.New("injected wrmsr failure")
+	}
+	return f.mockSys.SetCLOSMask(clos, w)
+}
+
+func (f *flakySys) SetDDIOMask(w cache.WayMask) error {
+	if f.failDDIO {
+		return errors.New("injected wrmsr failure")
+	}
+	return f.mockSys.SetDDIOMask(w)
+}
+
+func TestProgramCLOSRetriesAndVerifies(t *testing.T) {
+	fs := &flakySys{mockSys: newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})}
+	d := testDaemon(t, fs, Options{})
+
+	// Two failures with the default two retries: the third attempt lands.
+	fs.failCLOS = 2
+	m := cache.ContiguousMask(0, 3)
+	if !d.programCLOS(1, m) {
+		t.Fatal("write did not succeed within retry budget")
+	}
+	if fs.masks[1] != m {
+		t.Fatalf("register holds %v, want %v", fs.masks[1], m)
+	}
+	h := d.Health()
+	if h.WriteRetries != 2 || h.WriteFailures != 0 {
+		t.Fatalf("health after recovered write: %+v", h)
+	}
+
+	// More failures than the retry budget: counted as a write failure.
+	fs.failCLOS = 5
+	if d.programCLOS(1, cache.ContiguousMask(0, 4)) {
+		t.Fatal("write claimed success while every attempt failed")
+	}
+	h = d.Health()
+	if h.WriteFailures != 1 || !d.writeFailedIter {
+		t.Fatalf("health after exhausted retries: %+v (failedIter=%v)", h, d.writeFailedIter)
+	}
+}
+
+// glitch feeds one interval whose sample must fail the sanity screen:
+// misses vastly exceeding references is physically impossible.
+func glitch(m *mockSys, tick func()) {
+	m.advance(0, 1000, 2000, 0, 10_000_000)
+	m.advanceDDIO(1000, 10)
+	tick()
+}
+
+func TestSampleRejectPreservesBaseline(t *testing.T) {
+	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+	d := testDaemon(t, m, Options{})
+	reg := telemetry.NewRegistry()
+	d.Tel = reg
+	now := 0.0
+	tick := func() { now += 100e6; d.Tick(now) }
+	steady(m, tick)
+	steady(m, tick)
+
+	glitch(m, tick)
+	h := d.Health()
+	if h.SampleRejects != 1 || h.Degraded {
+		t.Fatalf("health after one glitch: %+v", h)
+	}
+	if m.maskWrites != 0 || m.ddioWrites != 0 {
+		t.Fatal("rejected sample reprogrammed registers")
+	}
+	if got := reg.Counter("daemon", "", "sanity_rejects").Value(); got != 1 {
+		t.Fatalf("sanity_rejects counter = %d", got)
+	}
+	evs := reg.Events(telemetry.SevWarn, "daemon")
+	if len(evs) != 1 || evs[0].Name != "sample_reject" {
+		t.Fatalf("warn events = %+v", evs)
+	}
+
+	// The glitched sample must not have become the comparison baseline:
+	// the next sane interval compares against the last sane rates and
+	// reads as stable.
+	steady(m, tick)
+	if _, unstable := d.Iterations(); unstable != 0 {
+		t.Fatalf("sane interval after a glitch read as unstable (%d)", unstable)
+	}
+}
+
+func TestDaemonDegradesAndRearms(t *testing.T) {
+	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+	d := testDaemon(t, m, Options{})
+	reg := telemetry.NewRegistry()
+	d.Tel = reg
+	var degradedIters int
+	d.OnIteration = func(info IterationInfo) {
+		if info.Degraded {
+			degradedIters++
+		}
+	}
+	now := 0.0
+	tick := func() { now += 100e6; d.Tick(now) }
+	steady(m, tick)
+	steady(m, tick)
+
+	// DegradeAfter (3) consecutive rejected samples force the fallback.
+	glitch(m, tick)
+	glitch(m, tick)
+	glitch(m, tick)
+	h := d.Health()
+	if !h.Degraded || h.Degradations != 1 || h.SampleRejects != 3 {
+		t.Fatalf("health after degrade: %+v", h)
+	}
+	if d.State() != LowKeep {
+		t.Fatalf("degraded state = %v, want LowKeep", d.State())
+	}
+	if want := cache.ContiguousMask(11-d.P.SafeDDIOWays, d.P.SafeDDIOWays); m.ddio != want {
+		t.Fatalf("fallback DDIO mask = %v, want %v", m.ddio, want)
+	}
+	if degradedIters == 0 {
+		t.Fatal("IterationInfo never reported Degraded")
+	}
+
+	// RearmAfter (2) consecutive sane samples re-arm the FSM.
+	steady(m, tick) // hold
+	if !d.Health().Degraded {
+		t.Fatal("re-armed after a single sane sample")
+	}
+	steady(m, tick) // re-arm
+	h = d.Health()
+	if h.Degraded || h.Rearms != 1 {
+		t.Fatalf("health after re-arm: %+v", h)
+	}
+	if got := reg.Counter("daemon", "", "rearms").Value(); got != 1 {
+		t.Fatalf("rearms counter = %d", got)
+	}
+
+	// Normal operation resumes from a fresh baseline.
+	before, _ := d.Iterations()
+	steady(m, tick)
+	steady(m, tick)
+	if after, _ := d.Iterations(); after <= before {
+		t.Fatal("daemon stopped iterating after re-arm")
+	}
+}
+
+func TestDaemonDegradesOnPersistentWriteFailures(t *testing.T) {
+	fs := &flakySys{
+		mockSys:  newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)}),
+		failDDIO: true,
+	}
+	d := testDaemon(t, fs, Options{})
+	now := 0.0
+	tick := func() { now += 100e6; d.Tick(now) }
+	steady(fs.mockSys, tick)
+	steady(fs.mockSys, tick)
+	// Sustained I/O demand: every iteration tries to grow DDIO and every
+	// write fails, so the daemon must fall back after DegradeAfter (3).
+	for i := 1; i <= 3; i++ {
+		fs.advance(0, 1000, 2000, 100, 10)
+		fs.advanceDDIO(100_000, uint64(1_000_000+i*300_000)/10)
+		tick()
+	}
+	h := d.Health()
+	if !h.Degraded || h.Degradations != 1 {
+		t.Fatalf("health after persistent write failures: %+v", h)
+	}
+	if h.WriteFailures < 3 {
+		t.Fatalf("write failures = %d, want >= 3", h.WriteFailures)
+	}
+	// The CLOS registers were never put in an invalid state.
+	for clos, m := range fs.masks {
+		if m == 0 || !m.Contiguous() {
+			t.Fatalf("clos %d holds invalid mask %v", clos, m)
+		}
+	}
+	// Once writes heal, sane samples re-arm the daemon.
+	fs.failDDIO = false
+	steady(fs.mockSys, tick)
+	steady(fs.mockSys, tick)
+	if h := d.Health(); h.Degraded || h.Rearms != 1 {
+		t.Fatalf("health after writes healed: %+v", h)
+	}
+}
+
+func TestRobustnessDefaultsAndValidation(t *testing.T) {
+	p := DefaultParams()
+	if p.SaneIPCMax != 16 || p.SaneRateMax != 1e12 || p.WriteRetries != 2 ||
+		p.DegradeAfter != 3 || p.RearmAfter != 2 || p.SafeDDIOWays != 2 {
+		t.Fatalf("robustness defaults = %+v", p)
+	}
+	bad := p
+	bad.SafeDDIOWays = 99
+	if err := bad.Validate(11); err == nil {
+		t.Error("SafeDDIOWays beyond the LLC accepted")
+	}
+	bad = p
+	bad.WriteRetries = -1
+	if err := bad.Validate(11); err == nil {
+		t.Error("negative WriteRetries accepted")
+	}
+	// A narrow DDIO bound pulls the safe fallback inside it.
+	narrow := Params{
+		ThresholdStable: 0.03, ThresholdMissLowPerSec: 1e6,
+		DDIOWaysMin: 1, DDIOWaysMax: 1, IntervalNS: 1e9,
+	}.withRobustnessDefaults()
+	if narrow.SafeDDIOWays != 1 {
+		t.Fatalf("SafeDDIOWays not clamped to DDIOWaysMax: %d", narrow.SafeDDIOWays)
+	}
+}

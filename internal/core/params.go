@@ -45,6 +45,32 @@ type Params struct {
 	// Growth selects the re-allocation increment policy (Sec. IV-D:
 	// "miss-curve-based increment like UCP can also be explored").
 	Growth GrowthPolicy
+
+	// Robustness knobs (zero selects the default): a production daemon
+	// polls counters and programs MSRs that can glitch, so every sample is
+	// sanity-checked and every write verified. See Daemon.Health.
+
+	// SaneIPCMax is the per-group IPC above which a sample is rejected as
+	// a counter glitch (no real core sustains it; default 16).
+	SaneIPCMax float64
+	// SaneRateMax is the per-group/DDIO event rate (per second) above
+	// which a sample is rejected (default 1e12 — beyond any LLC).
+	SaneRateMax float64
+	// WriteRetries is how many times a failed or mis-read-back mask write
+	// is retried within one iteration before counting as a failure
+	// (default 2).
+	WriteRetries int
+	// DegradeAfter is the number of consecutive bad iterations (rejected
+	// samples or write failures) after which the daemon falls back to a
+	// safe static allocation (default 3).
+	DegradeAfter int
+	// RearmAfter is the number of consecutive sane samples required
+	// before a degraded daemon re-arms its FSM (default 2). Repeated
+	// degradations double the requirement, capped at 8x.
+	RearmAfter int
+	// SafeDDIOWays is the static DDIO way count of the degraded fallback
+	// (default 2 clamped into [DDIOWaysMin, DDIOWaysMax]).
+	SafeDDIOWays int
 }
 
 // GrowthPolicy is the re-allocation increment strategy.
@@ -84,7 +110,38 @@ func DefaultParams() Params {
 		MissDropFactor:         0.5,
 		TenantMissRateFloor:    0.05,
 		ShuffleMargin:          0.9,
+	}.withRobustnessDefaults()
+}
+
+// withRobustnessDefaults fills the zero values of the robustness knobs, so
+// pre-existing Params literals keep working and NewDaemon always runs with
+// sane self-healing thresholds.
+func (p Params) withRobustnessDefaults() Params {
+	if p.SaneIPCMax == 0 {
+		p.SaneIPCMax = 16
 	}
+	if p.SaneRateMax == 0 {
+		p.SaneRateMax = 1e12
+	}
+	if p.WriteRetries == 0 {
+		p.WriteRetries = 2
+	}
+	if p.DegradeAfter == 0 {
+		p.DegradeAfter = 3
+	}
+	if p.RearmAfter == 0 {
+		p.RearmAfter = 2
+	}
+	if p.SafeDDIOWays == 0 {
+		p.SafeDDIOWays = 2
+		if p.DDIOWaysMax > 0 && p.SafeDDIOWays > p.DDIOWaysMax {
+			p.SafeDDIOWays = p.DDIOWaysMax
+		}
+		if p.SafeDDIOWays < p.DDIOWaysMin {
+			p.SafeDDIOWays = p.DDIOWaysMin
+		}
+	}
+	return p
 }
 
 // Validate checks parameter sanity against an LLC with nWays ways.
@@ -98,6 +155,18 @@ func (p Params) Validate(nWays int) error {
 	}
 	if p.IntervalNS <= 0 {
 		return fmt.Errorf("core: IntervalNS must be positive")
+	}
+	if p.SaneIPCMax < 0 || p.SaneRateMax < 0 {
+		return fmt.Errorf("core: sanity bounds must be non-negative")
+	}
+	if p.WriteRetries < 0 {
+		return fmt.Errorf("core: WriteRetries must be non-negative")
+	}
+	if p.DegradeAfter < 0 || p.RearmAfter < 0 {
+		return fmt.Errorf("core: DegradeAfter/RearmAfter must be non-negative")
+	}
+	if p.SafeDDIOWays < 0 || p.SafeDDIOWays > nWays {
+		return fmt.Errorf("core: SafeDDIOWays %d invalid for %d ways", p.SafeDDIOWays, nWays)
 	}
 	return nil
 }

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"iatsim/internal/bridge"
+	"iatsim/internal/cache"
+	"iatsim/internal/core"
+	"iatsim/internal/faults"
+	"iatsim/internal/harness"
+	"iatsim/internal/telemetry"
+)
+
+// ChaosRow is one point of the stability-under-faults experiment: the Leaky
+// DMA scenario under one fault-rate multiplier and one management mode.
+type ChaosRow struct {
+	FaultScale float64 // multiplier applied to the profile's rates
+	Mode       string  // "baseline" (static 2-way DDIO) or "iat"
+
+	// Injected fault counts, by layer.
+	MSRFaults   uint64 // write rejections + sticky bits
+	CtrGlitches uint64 // zeroed/saturated/wrapped/stale counter reads
+	NICFaults   uint64 // dropped Rx descriptors + stalled Tx drains
+	PollSkips   uint64 // suppressed controller polling epochs
+
+	// Daemon self-healing activity (zero in baseline mode).
+	SampleRejects uint64
+	WriteRetries  uint64
+	WriteFailures uint64
+	Degradations  uint64
+	Rearms        uint64
+
+	// InvalidMaskWrites counts mask writes the daemon requested that were
+	// not contiguous/non-empty/in-range. The acceptance criterion for the
+	// hardened daemon is zero at every fault rate.
+	InvalidMaskWrites uint64
+
+	Degraded   bool   // holding the safe static fallback at measure end
+	FinalState string // FSM state ("static" for baseline)
+	DDIOWays   int
+
+	DDIOHitPS  float64
+	DDIOMissPS float64
+	MemGBps    float64
+	OVSIPC     float64
+}
+
+// ChaosOpts parameterises the run.
+type ChaosOpts struct {
+	Scale      float64
+	Profile    string    // fault profile (named or kind=rate spec)
+	Scales     []float64 // fault-rate multipliers swept per mode
+	PktSize    int
+	WarmNS     float64
+	MeasureNS  float64
+	IntervalNS float64 // IAT polling interval
+}
+
+// DefaultChaosOpts returns simulation-friendly defaults: the default
+// profile at escalating multipliers (0 = fault-free control), 1.5KB
+// packets, and enough warm time for degrade/re-arm cycles to play out.
+func DefaultChaosOpts() ChaosOpts {
+	return ChaosOpts{
+		Scale:      100,
+		Profile:    "default",
+		Scales:     []float64{0, 1, 4},
+		PktSize:    1500,
+		WarmNS:     1.6e9,
+		MeasureNS:  0.8e9,
+		IntervalNS: 0.2e9,
+	}
+}
+
+// validatingSystem wraps the bridge's core.System and counts mask-write
+// requests that no real CAT/DDIO register would accept. The chaos harness
+// asserts this stays zero: whatever the injected faults do to the daemon's
+// counter view, it must never ask the hardware for an invalid allocation.
+type validatingSystem struct {
+	core.System
+	ways    int
+	invalid uint64
+}
+
+func (v *validatingSystem) SetCLOSMask(clos int, m cache.WayMask) error {
+	if m == 0 || !m.Contiguous() || m.Highest() >= v.ways {
+		v.invalid++
+	}
+	return v.System.SetCLOSMask(clos, m)
+}
+
+func (v *validatingSystem) SetDDIOMask(m cache.WayMask) error {
+	if m.Count() < 1 || !m.Contiguous() || m.Highest() >= v.ways {
+		v.invalid++
+	}
+	return v.System.SetDDIOMask(m)
+}
+
+// RunChaos runs the stability-under-faults experiment: the Fig. 8 Leaky
+// DMA scenario with a deterministic fault injector armed across every
+// layer (MSR accesses, NIC datapath, polling cadence), swept over
+// escalating fault-rate multipliers, baseline vs the hardened IAT daemon.
+// Schedules derive from the per-job seed, so rows are byte-identical at
+// any -jobs value.
+func RunChaos(w io.Writer, o ChaosOpts) []ChaosRow {
+	base, err := faults.ProfileByName(o.Profile)
+	if err != nil {
+		panic(err) // cmd/experiments validates the profile before running
+	}
+	var jobs []harness.Job
+	for _, scale := range o.Scales {
+		for _, mode := range []string{"baseline", "iat"} {
+			scale, mode := scale, mode
+			name := fmt.Sprintf("chaos/%s/x%g/%s", base.Name, scale, mode)
+			seed := jobSeed(name)
+			jobs = append(jobs, harness.Job{
+				Name: name, Figure: "chaos", Seed: seed,
+				TelFn: func(tel *telemetry.Registry) (any, *telemetry.Snapshot, error) {
+					row, snap := runChaosPoint(base.Scaled(scale), scale, mode, seed, o, tel)
+					return row, snap, nil
+				},
+			})
+		}
+	}
+	rows := runJobs[ChaosRow](jobs)
+	if w != nil {
+		fmt.Fprintf(w, "Chaos — stability under faults: profile %q, baseline vs hardened IAT\n", o.Profile)
+		fmt.Fprintf(w, "%6s %9s %6s %6s %6s %6s | %5s %5s %5s %5s %5s %7s | %5s %-10s %9s\n",
+			"xrate", "mode", "msr", "ctr", "nic", "poll",
+			"rej", "retry", "wfail", "degr", "rearm", "invalid",
+			"dWays", "state", "mem GB/s")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%6g %9s %6d %6d %6d %6d | %5d %5d %5d %5d %5d %7d | %5d %-10s %9.2f\n",
+				r.FaultScale, r.Mode, r.MSRFaults, r.CtrGlitches, r.NICFaults, r.PollSkips,
+				r.SampleRejects, r.WriteRetries, r.WriteFailures, r.Degradations, r.Rearms,
+				r.InvalidMaskWrites, r.DDIOWays, r.FinalState, r.MemGBps)
+		}
+	}
+	return rows
+}
+
+// runChaosPoint runs one cell. The injector is armed only after the
+// scenario is fully assembled: construction-time mask programming is not
+// part of the fault surface, matching a daemon that starts on a healthy
+// machine which later begins to glitch.
+func runChaosPoint(prof faults.Profile, scale float64, mode string, seed int64, o ChaosOpts, tel *telemetry.Registry) (ChaosRow, *telemetry.Snapshot) {
+	s := NewLeakyScenario(LeakyOpts{Scale: o.Scale, PktSize: o.PktSize, Seed: seed})
+	if tel != nil {
+		s.P.AttachTelemetry(tel)
+	}
+	var daemon *core.Daemon
+	var vsys *validatingSystem
+	if mode == "iat" {
+		params := core.DefaultParams()
+		params.IntervalNS = o.IntervalNS
+		// Thresholds are defined against real time; the platform's Scale
+		// shrinks every event rate by the same factor.
+		params.ThresholdMissLowPerSec /= o.Scale
+		params.SaneRateMax /= o.Scale
+		vsys = &validatingSystem{System: bridge.NewSystem(s.P), ways: s.P.RDT.NumWays()}
+		var err error
+		daemon, err = core.NewDaemon(vsys, params, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if tel != nil {
+			daemon.Tel = tel
+		}
+		s.P.AddController(daemon)
+	}
+
+	inj := faults.NewInjector(prof, seed+1)
+	if prof.Active() {
+		if tel != nil {
+			inj.AttachTelemetry(tel, s.P.NowNS)
+		}
+		s.P.MSR.SetFaultHook(inj)
+		for _, dev := range s.Devs {
+			dev.SetFaults(inj)
+		}
+		s.P.SetPollFaults(inj)
+	}
+
+	s.P.Run(o.WarmNS)
+	win := Measure(s.P, o.MeasureNS)
+
+	row := ChaosRow{
+		FaultScale:  scale,
+		Mode:        mode,
+		MSRFaults:   inj.Count(faults.MSRWriteReject) + inj.Count(faults.MSRSticky),
+		CtrGlitches: inj.CounterGlitches(),
+		NICFaults:   inj.Count(faults.NICDrop) + inj.Count(faults.NICStall),
+		PollSkips:   inj.Count(faults.PollSkip),
+		FinalState:  "static",
+		DDIOWays:    s.P.RDT.DDIOMask().Count(),
+		DDIOHitPS:   win.DDIOHitPS() * o.Scale,
+		DDIOMissPS:  win.DDIOMissPS() * o.Scale,
+		MemGBps:     win.MemGBps() * o.Scale,
+		OVSIPC:      win.IPC(s.OVSCores...),
+	}
+	if daemon != nil {
+		h := daemon.Health()
+		row.SampleRejects = h.SampleRejects
+		row.WriteRetries = h.WriteRetries
+		row.WriteFailures = h.WriteFailures
+		row.Degradations = h.Degradations
+		row.Rearms = h.Rearms
+		row.Degraded = h.Degraded
+		row.InvalidMaskWrites = vsys.invalid
+		row.FinalState = daemon.State().String()
+	}
+	return row, tel.Snapshot(s.P.NowNS())
+}

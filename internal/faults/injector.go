@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"fmt"
+	"math/bits"
+
+	"iatsim/internal/msr"
+	"iatsim/internal/rdt"
+	"iatsim/internal/telemetry"
+)
+
+// counterMask is the modular range of the emulated hardware counters.
+const counterMask = (uint64(1) << rdt.CounterBits) - 1
+
+// Injector draws every fault decision from one seeded splitmix64 stream.
+// It structurally implements the hook interfaces of the layers it perturbs
+// (msr.FaultHook, nic.FaultInjector, sim.PollFaults) so one injector armed
+// with one seed drives a whole platform's fault schedule.
+//
+// Arm it only after the platform is assembled: construction-time register
+// programming (rdt.New, scenario CAT setup) is not part of the fault
+// surface — a machine that cannot boot is not a scenario worth simulating.
+//
+// Not safe for concurrent use; the simulator is single-threaded and each
+// harness job owns its injector, which is what keeps chaos runs
+// byte-identical at any worker count.
+type Injector struct {
+	prof  Profile
+	state uint64
+
+	counts [NumKinds]uint64
+
+	// wrapOff is the per-register modular offset CounterWrap installs;
+	// lastVal is the last value served per register, for CounterStale.
+	// Both maps are lookup-only (never ranged), so map order cannot leak.
+	wrapOff map[uint32]uint64
+	lastVal map[uint32]uint64
+
+	tel    telemetry.Sink
+	clock  func() float64
+	telCnt [NumKinds]*telemetry.Counter
+}
+
+var _ msr.FaultHook = (*Injector)(nil)
+
+// NewInjector builds an injector for prof whose schedule is a pure
+// function of seed.
+func NewInjector(prof Profile, seed int64) *Injector {
+	in := &Injector{
+		prof:    prof,
+		state:   uint64(seed),
+		wrapOff: make(map[uint32]uint64),
+		lastVal: make(map[uint32]uint64),
+	}
+	in.next() // fold the seed once so seed 0 does not start at state 0
+	return in
+}
+
+// Profile returns the injector's fault-rate profile.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// AttachTelemetry publishes per-kind injection counters (subsystem
+// "faults") and one SevDebug event per injection, stamped with clock's
+// sim time. Passing a nil sink is a no-op.
+func (in *Injector) AttachTelemetry(s telemetry.Sink, clock func() float64) {
+	if s == nil {
+		return
+	}
+	in.tel = s
+	in.clock = clock
+	for k := 0; k < NumKinds; k++ {
+		in.telCnt[k] = s.Counter("faults", "", kindNames[k])
+	}
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9E3779B97F4A7C15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// roll decides one injection opportunity for kind k, counting and
+// publishing the fault when it fires. A zero-rate kind consumes no stream
+// state, so disabling one fault kind does not shift another's schedule
+// relative to the same profile with that kind off.
+func (in *Injector) roll(k Kind) bool {
+	r := in.prof.Rates[k]
+	if r <= 0 {
+		return false
+	}
+	if float64(in.next()>>11)/(1<<53) >= r {
+		return false
+	}
+	in.counts[k]++
+	in.telCnt[k].Inc()
+	if in.tel != nil {
+		now := 0.0
+		if in.clock != nil {
+			now = in.clock()
+		}
+		in.tel.Emit(telemetry.Event{
+			TimeNS: now, Sev: telemetry.SevDebug,
+			Subsystem: "faults", Name: "inject", Detail: kindNames[k],
+		})
+	}
+	return true
+}
+
+// pickBit returns one randomly chosen set bit of bits (0 when bits is 0).
+func (in *Injector) pickBit(b uint64) uint64 {
+	n := bits.OnesCount64(b)
+	if n == 0 {
+		return 0
+	}
+	idx := int(in.next() % uint64(n))
+	for i := 0; i < idx; i++ {
+		b &= b - 1 // clear lowest set bit
+	}
+	return b & -b
+}
+
+// FilterWrite implements msr.FaultHook: it may reject a register write
+// (the register keeps old) or let one set bit of the old value stick
+// through an otherwise successful write.
+func (in *Injector) FilterWrite(addr uint32, old, v uint64) (uint64, error) {
+	if in.roll(MSRWriteReject) {
+		return old, fmt.Errorf("faults: injected wrmsr rejection at %#x", addr)
+	}
+	if stuck := old &^ v; stuck != 0 && in.roll(MSRSticky) {
+		return v | in.pickBit(stuck), nil
+	}
+	return v, nil
+}
+
+// FilterRead implements msr.FaultHook. Only performance-counter registers
+// (PerfCoreBase and above) are corrupted: mask and association registers
+// must read back exactly or read-back verification would be meaningless.
+func (in *Injector) FilterRead(addr uint32, v uint64) uint64 {
+	if addr < msr.PerfCoreBase {
+		return v
+	}
+	if off, ok := in.wrapOff[addr]; ok {
+		v = (v + off) & counterMask
+	}
+	prev, seen := in.lastVal[addr]
+	out := v
+	switch {
+	case in.roll(CounterZero):
+		out = 0
+	case in.roll(CounterSaturate):
+		out = counterMask
+	case in.roll(CounterWrap):
+		// Install a persistent modular offset landing the counter just
+		// below 2^CounterBits, so it wraps through zero within the next
+		// few thousand events. The transition read looks like a glitch
+		// (and should be rejected by sample validation); every delta
+		// after it is exact again under 48-bit modular subtraction.
+		margin := in.next() % 4096
+		in.wrapOff[addr] = (counterMask - margin - v) & counterMask
+		out = (counterMask - margin) & counterMask
+	case seen && in.roll(CounterStale):
+		out = prev
+	}
+	in.lastVal[addr] = out
+	return out
+}
+
+// DropRxDesc implements the NIC fault hook: drop one inbound packet at
+// the descriptor stage.
+func (in *Injector) DropRxDesc() bool { return in.roll(NICDrop) }
+
+// StallTx implements the NIC fault hook: void one transmit-drain call.
+func (in *Injector) StallTx() bool { return in.roll(NICStall) }
+
+// SkipPoll implements the sim poll-fault hook: suppress one controller
+// polling epoch.
+func (in *Injector) SkipPoll(nowNS float64) bool { return in.roll(PollSkip) }
+
+// Count returns how many faults of kind k were injected.
+func (in *Injector) Count(k Kind) uint64 { return in.counts[k] }
+
+// Total returns the total injected fault count across all kinds.
+func (in *Injector) Total() uint64 {
+	var t uint64
+	for _, c := range in.counts {
+		t += c
+	}
+	return t
+}
+
+// CounterGlitches returns the combined count of the four counter-read
+// fault kinds.
+func (in *Injector) CounterGlitches() uint64 {
+	return in.counts[CounterZero] + in.counts[CounterSaturate] +
+		in.counts[CounterWrap] + in.counts[CounterStale]
+}

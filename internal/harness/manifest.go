@@ -16,6 +16,8 @@ type RunOptions struct {
 	Retries   int      `json:"retries,omitempty"`
 	Selectors []string `json:"selectors,omitempty"`
 	Full      bool     `json:"full,omitempty"`
+	// Chaos is the fault profile of a chaos-mode run (empty = no faults).
+	Chaos string `json:"chaos,omitempty"`
 }
 
 // Manifest is the per-run record written alongside the CSV export: run

@@ -101,6 +101,15 @@ func TestDetlintPassesCleanSimulationCode(t *testing.T) {
 	}
 }
 
+func TestDetlintPassesSeededFaultInjector(t *testing.T) {
+	// The fault-injection pattern — a private splitmix64 stream derived
+	// from an explicit seed — is detlint-clean under the real injector's
+	// import path: fault schedules are part of the determinism guarantee.
+	if got := active(loadFixture(t, "faultsok", "iatsim/internal/faults")); len(got) != 0 {
+		t.Fatalf("faultsok should be clean, got %v", got)
+	}
+}
+
 func TestDetlintScopeIsInternalOnly(t *testing.T) {
 	// The same violating file outside internal/ is out of detlint's
 	// scope entirely.

@@ -1,0 +1,45 @@
+// Package faultsok mirrors the internal/faults injector shape: a private
+// splitmix64 stream derived from an explicit seed, Bernoulli draws against
+// configured rates, and injection decisions keyed on simulated state only.
+// It must stay detlint-clean — fault schedules are part of the determinism
+// guarantee, so no wall clock, no global rand, no goroutines.
+package faultsok
+
+// Injector draws fault decisions from its own seeded stream.
+type Injector struct {
+	state uint64
+	rate  float64
+	count uint64
+}
+
+// NewInjector derives the stream from an explicit seed, exactly like the
+// real injector: schedules are a pure function of (profile, seed).
+func NewInjector(rate float64, seed int64) *Injector {
+	return &Injector{state: uint64(seed), rate: rate}
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9E3779B97F4A7C15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Decide is one Bernoulli draw against the configured rate. A zero rate
+// consumes no stream state, so inactive fault kinds do not perturb the
+// schedule of active ones.
+func (in *Injector) Decide() bool {
+	if in.rate <= 0 {
+		return false
+	}
+	if float64(in.next()>>11)/(1<<53) >= in.rate {
+		return false
+	}
+	in.count++
+	return true
+}
+
+// Count reports injections so far.
+func (in *Injector) Count() uint64 { return in.count }

@@ -1,0 +1,81 @@
+package msr
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptedHook is a deterministic FaultHook for exercising the register
+// file's interception seams: it rejects writes to one address, forces one
+// old bit to stick on writes elsewhere, and offsets served read values.
+type scriptedHook struct {
+	rejectAddr uint32
+	stickMask  uint64
+	readDelta  uint64
+}
+
+var errInjected = errors.New("injected wrmsr failure")
+
+func (h *scriptedHook) FilterWrite(addr uint32, old, v uint64) (uint64, error) {
+	if addr == h.rejectAddr {
+		return old, errInjected
+	}
+	return v | (old & h.stickMask), nil
+}
+
+func (h *scriptedHook) FilterRead(addr uint32, v uint64) uint64 {
+	return v + h.readDelta
+}
+
+func TestFaultHookWritePath(t *testing.T) {
+	f := NewFile()
+	a, b := L3MaskAddr(1), L3MaskAddr(2)
+	if err := f.Write(a, 0x7F); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(b, 0x70); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaultHook(&scriptedHook{rejectAddr: a, stickMask: 0x40})
+
+	// Rejected write surfaces the error and leaves the register untouched.
+	if err := f.Write(a, 0x0F); !errors.Is(err, errInjected) {
+		t.Fatalf("rejected write returned %v", err)
+	}
+	if v := f.Peek(a); v != 0x7F {
+		t.Fatalf("register changed by a rejected write: %#x", v)
+	}
+
+	// A sticky write stores the new value plus the stuck old bit.
+	if err := f.Write(b, 0x07); err != nil {
+		t.Fatal(err)
+	}
+	if v := f.Peek(b); v != 0x47 {
+		t.Fatalf("sticky write stored %#x, want 0x47", v)
+	}
+
+	// Both attempts were counted: injected failures still cost a wrmsr.
+	if ops := f.Ops(); ops.Writes != 4 {
+		t.Fatalf("write ops = %d, want 4", ops.Writes)
+	}
+}
+
+func TestFaultHookReadPathAndPeekBypass(t *testing.T) {
+	f := NewFile()
+	a := CoreCounterAddr(0, EvCycles)
+	f.MapRead(a, func() uint64 { return 1000 })
+	f.SetFaultHook(&scriptedHook{readDelta: 23})
+
+	if v := f.Read(a); v != 1023 {
+		t.Fatalf("hooked read served %d, want 1023", v)
+	}
+	// Peek is the datapath/diagnostic view: never perturbed.
+	if v := f.Peek(a); v != 1000 {
+		t.Fatalf("Peek perturbed by fault hook: %d", v)
+	}
+
+	f.SetFaultHook(nil)
+	if v := f.Read(a); v != 1000 {
+		t.Fatalf("read after removing hook served %d", v)
+	}
+}

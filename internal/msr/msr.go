@@ -83,6 +83,21 @@ func MBAThrtlAddr(clos int) uint32 { return IA32MBAThrtlBase + uint32(clos) }
 // ReadHandler supplies the value of a read-only (counter) register.
 type ReadHandler func() uint64
 
+// FaultHook intercepts counted register-file operations, the seam the
+// chaos harness (internal/faults) uses to model misbehaving hardware.
+// Peek bypasses the hook: the simulated datapath and diagnostics see the
+// machine's true state — only the management plane's rdmsr/wrmsr view is
+// perturbed, exactly as on real hardware where the registers themselves
+// are fine and the *accesses* fail.
+type FaultHook interface {
+	// FilterWrite sees the register's current value and the value being
+	// written; it returns the value to store, or a non-nil error to
+	// reject the write (the register then keeps old).
+	FilterWrite(addr uint32, old, v uint64) (uint64, error)
+	// FilterRead may substitute the value served by a read.
+	FilterRead(addr uint32, v uint64) uint64
+}
+
 // Ops counts register file operations, the basis of the control-plane
 // overhead model (Fig. 15).
 type Ops struct {
@@ -98,6 +113,7 @@ type File struct {
 	mu       sync.Mutex
 	regs     map[uint32]uint64
 	handlers map[uint32]ReadHandler
+	hook     FaultHook
 	ops      Ops
 }
 
@@ -116,15 +132,31 @@ func (f *File) MapRead(addr uint32, h ReadHandler) {
 	f.handlers[addr] = h
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault hook applied to
+// subsequent Read and Write calls. Arm it only after the platform is
+// assembled: construction-time programming is not part of the fault
+// surface.
+func (f *File) SetFaultHook(h FaultHook) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = h
+}
+
 // Read returns the value of a register (rdmsr).
 func (f *File) Read(addr uint32) uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops.Reads++
+	var v uint64
 	if h, ok := f.handlers[addr]; ok {
-		return h()
+		v = h()
+	} else {
+		v = f.regs[addr]
 	}
-	return f.regs[addr]
+	if f.hook != nil {
+		v = f.hook.FilterRead(addr, v)
+	}
+	return v
 }
 
 // Write sets the value of a register (wrmsr). Writing a handler-backed
@@ -135,6 +167,13 @@ func (f *File) Write(addr uint32, v uint64) error {
 	f.ops.Writes++
 	if _, ok := f.handlers[addr]; ok {
 		return fmt.Errorf("msr: register %#x is read-only", addr)
+	}
+	if f.hook != nil {
+		stored, err := f.hook.FilterWrite(addr, f.regs[addr], v)
+		if err != nil {
+			return err
+		}
+		v = stored
 	}
 	f.regs[addr] = v
 	return nil

@@ -1,0 +1,107 @@
+package nic
+
+import (
+	"testing"
+
+	"iatsim/internal/pkt"
+)
+
+// scriptedFaults replays fixed drop/stall decision sequences (false once
+// exhausted), so tests control exactly which datapath touch is perturbed.
+type scriptedFaults struct {
+	drop, stall []bool
+	di, si      int
+}
+
+func (s *scriptedFaults) DropRxDesc() bool {
+	if s.di >= len(s.drop) {
+		return false
+	}
+	s.di++
+	return s.drop[s.di-1]
+}
+
+func (s *scriptedFaults) StallTx() bool {
+	if s.si >= len(s.stall) {
+		return false
+	}
+	s.si++
+	return s.stall[s.si-1]
+}
+
+func TestInjectedRxDrop(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "eth", RxEntries: 8, TxEntries: 8, VFs: 1}, eng, al)
+	d.SetFaults(&scriptedFaults{drop: []bool{true, false}})
+	vf := d.VF(0)
+
+	if d.DeliverRx(0, pkt.Packet{Size: 64}, 0) {
+		t.Fatal("faulted delivery succeeded")
+	}
+	if vf.Stats.RxDrops != 1 || vf.Stats.InjectedRxDrops != 1 || vf.Stats.RxPackets != 0 {
+		t.Fatalf("stats after injected drop: %+v", vf.Stats)
+	}
+	if !vf.Rx.Empty() {
+		t.Fatal("dropped packet reached the ring")
+	}
+	// The next arrival is untouched.
+	if !d.DeliverRx(0, pkt.Packet{Size: 64}, 0) {
+		t.Fatal("clean delivery failed")
+	}
+	if vf.Stats.RxPackets != 1 || vf.Stats.InjectedRxDrops != 1 {
+		t.Fatalf("stats after clean delivery: %+v", vf.Stats)
+	}
+}
+
+func TestInjectedTxStall(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "eth", RxEntries: 8, TxEntries: 8, VFs: 1}, eng, al)
+	d.SetFaults(&scriptedFaults{stall: []bool{true}})
+	vf := d.VF(0)
+	buf, _ := vf.Pool.Get()
+	vf.Tx.Push(Entry{Pkt: pkt.Packet{Size: 64}, Buf: buf})
+
+	// Stalled drain does no work, and the wire time is lost: the pacing
+	// budget of the stalled interval must not carry over.
+	if sent := d.DrainTx(0, 1000); sent != 0 {
+		t.Fatalf("stalled drain sent %d", sent)
+	}
+	if vf.Stats.InjectedTxStalls != 1 || vf.Stats.TxPackets != 0 {
+		t.Fatalf("stats after stall: %+v", vf.Stats)
+	}
+	if sent := d.DrainTx(0, 0); sent != 0 {
+		t.Fatal("stalled interval's budget leaked into the next drain")
+	}
+	if sent := d.DrainTx(0, 1000); sent != 1 {
+		t.Fatalf("post-stall drain sent %d, want 1", sent)
+	}
+	if vf.Stats.TxPackets != 1 || vf.Stats.InjectedTxStalls != 1 {
+		t.Fatalf("final stats: %+v", vf.Stats)
+	}
+}
+
+// An all-false injector must leave the datapath bit-for-bit unaffected.
+func TestInactiveInjectorIsTransparent(t *testing.T) {
+	run := func(fi FaultInjector) (VFStats, int) {
+		eng, al := newEngine()
+		d := NewDevice(Config{Name: "eth", RxEntries: 4, TxEntries: 4, VFs: 1}, eng, al)
+		d.SetFaults(fi)
+		for i := 0; i < 6; i++ { // overruns the 4-entry ring: 2 real drops
+			d.DeliverRx(0, pkt.Packet{Size: 128}, float64(i))
+		}
+		vf := d.VF(0)
+		for !vf.Rx.Empty() {
+			slot, e, _ := vf.Rx.Pop()
+			vf.ReplenishRx(slot)
+			vf.Tx.Push(e)
+		}
+		sent := d.DrainTx(0, 1e6)
+		return vf.Stats, sent
+	}
+	withNil, sentNil := run(nil)
+	withOff, sentOff := run(&scriptedFaults{})
+	if withNil != withOff || sentNil != sentOff {
+		t.Fatalf("inactive injector changed behaviour: %+v/%d vs %+v/%d",
+			withNil, sentNil, withOff, sentOff)
+	}
+}

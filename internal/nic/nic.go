@@ -143,9 +143,23 @@ func (p *Pool) Put(buf uint64) { p.free = append(p.free, buf) }
 type VFStats struct {
 	RxPackets uint64
 	RxBytes   uint64
-	RxDrops   uint64 // ring full or pool empty at arrival
+	RxDrops   uint64 // ring full, pool empty, or injected fault at arrival
 	TxPackets uint64
 	TxBytes   uint64
+
+	// InjectedRxDrops / InjectedTxStalls count datapath faults a chaos
+	// injector forced (InjectedRxDrops is included in RxDrops).
+	InjectedRxDrops  uint64
+	InjectedTxStalls uint64
+}
+
+// FaultInjector perturbs the device datapath; the chaos harness
+// (internal/faults) implements it with a seeded schedule. Each method is
+// one injection opportunity: DropRxDesc per inbound packet, StallTx per
+// transmit-drain call.
+type FaultInjector interface {
+	DropRxDesc() bool
+	StallTx() bool
 }
 
 // VF is one SR-IOV virtual function (or, for the aggregation model, the
@@ -215,13 +229,17 @@ type Device struct {
 	cfg   Config
 	eng   *ddio.Engine
 	port  *ddio.Port // optional per-device DDIO policy (Sec. VII extension)
-	vfs   []*VF
-	txAcc float64 // fractional byte budget carried between drain calls
+	vfs    []*VF
+	txAcc  float64 // fractional byte budget carried between drain calls
+	faults FaultInjector
 
 	// OnTx, when set, is invoked for every packet that leaves on the
 	// wire — closed-loop traffic generators use it to recover credits.
 	OnTx func(vf int, e Entry)
 }
+
+// SetFaults attaches (or, with nil, removes) a datapath fault injector.
+func (d *Device) SetFaults(fi FaultInjector) { d.faults = fi }
 
 // SetDDIOPort attaches a per-device DDIO policy (device-aware way mask
 // and/or application-aware header-only placement). Passing nil restores the
@@ -312,6 +330,14 @@ func (d *Device) NumVFs() int { return len(d.vfs) }
 // dropped and counted.
 func (d *Device) DeliverRx(i int, p pkt.Packet, nowNS float64) bool {
 	vf := d.vfs[i]
+	if d.faults != nil && d.faults.DropRxDesc() {
+		// Injected descriptor-stage drop: the packet never reaches the
+		// ring (a corrupt descriptor the hardware discards).
+		vf.Stats.RxDrops++
+		vf.Stats.InjectedRxDrops++
+		vf.tel.rxDrops.Inc()
+		return false
+	}
 	if vf.Rx.Full() {
 		vf.Stats.RxDrops++
 		vf.tel.rxDrops.Inc()
@@ -343,6 +369,12 @@ func (d *Device) DeliverRx(i int, p pkt.Packet, nowNS float64) bool {
 // carried over). Transmitted buffers return to the pool.
 func (d *Device) DrainTx(i int, dtNS float64) int {
 	vf := d.vfs[i]
+	if d.faults != nil && d.faults.StallTx() {
+		// Injected stall: the DMA engine does no work this call and the
+		// wire time is lost (the pacing budget is not accrued).
+		vf.Stats.InjectedTxStalls++
+		return 0
+	}
 	// Per-VF pacing: the VFs share the port; give each an equal share.
 	d.txAcc += d.cfg.WireGbps / 8 * dtNS / float64(len(d.vfs)) // GB/s * ns = bytes
 	sent := 0

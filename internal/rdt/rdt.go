@@ -17,6 +17,19 @@ import (
 	"iatsim/internal/msr"
 )
 
+// CounterBits is the implemented width of the hardware event counters:
+// cumulative values count modulo 2^CounterBits, as the 48-bit general
+// counters on Skylake-SP do. Deltas between samples must therefore be
+// taken modularly — a counter that wrapped between two polls would
+// otherwise produce a huge bogus delta instead of the true small one.
+const CounterBits = 48
+
+// counterDelta is the wraparound-aware difference cur - prev modulo
+// 2^CounterBits. For unwrapped counters it is plain subtraction.
+func counterDelta(cur, prev uint64) uint64 {
+	return (cur - prev) & ((uint64(1) << CounterBits) - 1)
+}
+
 // CoreCounters is one sample of the per-core hardware events the daemon
 // polls (Sec. IV-B: IPC from instructions and cycles, plus LLC references
 // and misses).
@@ -35,13 +48,15 @@ func (c *CoreCounters) Add(o CoreCounters) {
 	c.LLCMisses += o.LLCMisses
 }
 
-// Sub returns the delta c - o.
+// Sub returns the delta c - o, modulo 2^CounterBits per event (see
+// CounterBits: wrapped cumulative counters yield their true delta, not a
+// huge two's-complement residue).
 func (c CoreCounters) Sub(o CoreCounters) CoreCounters {
 	return CoreCounters{
-		Instructions: c.Instructions - o.Instructions,
-		Cycles:       c.Cycles - o.Cycles,
-		LLCRefs:      c.LLCRefs - o.LLCRefs,
-		LLCMisses:    c.LLCMisses - o.LLCMisses,
+		Instructions: counterDelta(c.Instructions, o.Instructions),
+		Cycles:       counterDelta(c.Cycles, o.Cycles),
+		LLCRefs:      counterDelta(c.LLCRefs, o.LLCRefs),
+		LLCMisses:    counterDelta(c.LLCMisses, o.LLCMisses),
 	}
 }
 
@@ -70,9 +85,12 @@ type DDIOCounters struct {
 	Misses uint64 // write allocates
 }
 
-// Sub returns the delta d - o.
+// Sub returns the delta d - o, modulo 2^CounterBits per event.
 func (d DDIOCounters) Sub(o DDIOCounters) DDIOCounters {
-	return DDIOCounters{Hits: d.Hits - o.Hits, Misses: d.Misses - o.Misses}
+	return DDIOCounters{
+		Hits:   counterDelta(d.Hits, o.Hits),
+		Misses: counterDelta(d.Misses, o.Misses),
+	}
 }
 
 // Config sizes the controller.

@@ -27,6 +27,15 @@ type ControllerFunc func(nowNS float64)
 // Tick implements Controller.
 func (f ControllerFunc) Tick(nowNS float64) { f(nowNS) }
 
+// PollFaults perturbs the management plane's polling cadence; the chaos
+// harness (internal/faults) implements it with a seeded schedule. SkipPoll
+// is asked once per epoch: true suppresses every controller Tick for that
+// epoch, modelling scheduler jitter and overrun sleeps on the daemon's
+// polling loop.
+type PollFaults interface {
+	SkipPoll(nowNS float64) bool
+}
+
 // genBinding attaches a traffic generator to a device VF.
 type genBinding struct {
 	gen *tgen.Generator
@@ -60,6 +69,10 @@ type Platform struct {
 
 	ambientAcc  float64
 	ambientRand uint64
+
+	pollFaults   PollFaults
+	skippedPolls uint64
+	ctrlSkips    *telemetry.Counter
 
 	tel telemetry.Sink // nil unless AttachTelemetry was called
 
@@ -134,6 +147,7 @@ func (p *Platform) AttachTelemetry(s telemetry.Sink) {
 		return
 	}
 	p.tel = s
+	p.ctrlSkips = s.Counter("sim", "", "ctrl_poll_skips")
 	p.Hier.LLC().AttachTelemetry(s)
 	p.Mem.AttachTelemetry(s)
 	p.DDIO.AttachTelemetry(s)
@@ -197,6 +211,14 @@ func (p *Platform) AttachGenerator(g *tgen.Generator, d *nic.Device, vf int) {
 
 // AddController registers a management-plane agent (IAT or a baseline).
 func (p *Platform) AddController(c Controller) { p.ctrls = append(p.ctrls, c) }
+
+// SetPollFaults attaches (or, with nil, removes) a polling-cadence fault
+// source consulted once per epoch before the controllers run.
+func (p *Platform) SetPollFaults(pf PollFaults) { p.pollFaults = pf }
+
+// SkippedPolls returns how many controller polling epochs were suppressed
+// by the attached PollFaults source.
+func (p *Platform) SkippedPolls() uint64 { return p.skippedPolls }
 
 // AddMicrotickHook registers a function run once per microtick, after
 // traffic ingress and before the cores — the attachment point for devices
@@ -281,6 +303,11 @@ func (p *Platform) Step() {
 		}
 		p.ambientChurn(dt)
 		p.nowNS += dt
+	}
+	if p.pollFaults != nil && p.pollFaults.SkipPoll(p.nowNS) {
+		p.skippedPolls++
+		p.ctrlSkips.Inc()
+		return
 	}
 	for _, c := range p.ctrls {
 		c.Tick(p.nowNS)

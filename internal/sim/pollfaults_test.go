@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"iatsim/internal/telemetry"
+)
+
+// skipFirstN suppresses the first n polling epochs.
+type skipFirstN struct{ n, asked int }
+
+func (s *skipFirstN) SkipPoll(nowNS float64) bool {
+	s.asked++
+	return s.asked <= s.n
+}
+
+func TestPollFaultsSuppressControllerTicks(t *testing.T) {
+	p := NewPlatform(smallConfig())
+	reg := telemetry.NewRegistry()
+	p.AttachTelemetry(reg)
+	ticks := 0
+	p.AddController(ControllerFunc(func(nowNS float64) { ticks++ }))
+	pf := &skipFirstN{n: 3}
+	p.SetPollFaults(pf)
+
+	p.Run(5e6) // 5 epochs: 3 skipped, 2 polled
+	if ticks != 2 {
+		t.Fatalf("controller ticked %d times, want 2", ticks)
+	}
+	if p.SkippedPolls() != 3 {
+		t.Fatalf("SkippedPolls = %d, want 3", p.SkippedPolls())
+	}
+	if pf.asked != 5 {
+		t.Fatalf("injector consulted %d times, want once per epoch (5)", pf.asked)
+	}
+	if got := reg.Counter("sim", "", "ctrl_poll_skips").Value(); got != 3 {
+		t.Fatalf("ctrl_poll_skips counter = %d, want 3", got)
+	}
+
+	// Removing the source restores the normal cadence.
+	p.SetPollFaults(nil)
+	p.Run(2e6)
+	if ticks != 4 || p.SkippedPolls() != 3 {
+		t.Fatalf("after removal: ticks=%d skipped=%d", ticks, p.SkippedPolls())
+	}
+}
