@@ -7,9 +7,9 @@ GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: all build lint simlint vet fmtcheck test race smoke telemetry-smoke chaos-smoke determinism scaling clean
+.PHONY: all build lint simlint vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke bench determinism scaling clean
 
-all: build lint test telemetry-smoke chaos-smoke
+all: build lint test race telemetry-smoke chaos-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,32 @@ chaos-smoke: build
 	cmp $(TMP)/chaos1/chaos.csv $(TMP)/chaosN/chaos.csv
 	grep -q '"failures": 0' $(TMP)/chaosN/manifest.json
 	@echo "chaos-smoke OK: jobs=1 == jobs=$(JOBS) under -race"
+
+# fleet-smoke: the fleet simulator acceptance gate — a 32-host canary
+# rollout with a correlated fault storm on the canary cohort, run under
+# the race detector at 1 worker vs 8 workers. The aggregate round CSV
+# and both telemetry snapshots (controller + merged host rollup) must be
+# byte-identical, and the manifest must report zero failed step jobs.
+FLEETFLAGS = -hosts 32 -rollout canary -chaos default -scale 3200 -round 0.15
+fleet-smoke: build
+	rm -rf $(TMP)/fleet1 $(TMP)/fleetN && mkdir -p $(TMP)/fleet1 $(TMP)/fleetN
+	$(GO) run -race ./cmd/fleetd $(FLEETFLAGS) -jobs 1 -csv $(TMP)/fleet1 -telemetry $(TMP)/fleet1 -json $(TMP)/fleet1 > /dev/null
+	$(GO) run -race ./cmd/fleetd $(FLEETFLAGS) -jobs 8 -csv $(TMP)/fleetN -telemetry $(TMP)/fleetN -json $(TMP)/fleetN > /dev/null
+	cmp $(TMP)/fleet1/fleet.csv $(TMP)/fleetN/fleet.csv
+	cmp $(TMP)/fleet1/controller.json $(TMP)/fleetN/controller.json
+	cmp $(TMP)/fleet1/hosts.json $(TMP)/fleetN/hosts.json
+	grep -q '"failures": 0' $(TMP)/fleetN/manifest.json
+	@echo "fleet-smoke OK: 32-host canary rollout, jobs=1 == jobs=8 under -race"
+
+# bench: the micro-benchmark suite (cache access, NIC poll, daemon
+# iteration, platform step, fleet round) via `go test -bench`, converted
+# to JSON at results/bench.json by cmd/benchjson.
+BENCHES ?= LLCAccess|HierarchyAccess|NICPollRx|DaemonTick|Table2DaemonIteration|Table1PlatformStep|FleetRound
+bench: build
+	mkdir -p $(TMP) results
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . > $(TMP)/bench.txt
+	$(GO) run ./cmd/benchjson -in $(TMP)/bench.txt -out results/bench.json
+	@echo "bench OK: results/bench.json"
 
 # determinism: -all at 1 worker vs 8 workers must emit byte-identical CSV
 # rows. fig15.csv is excluded: it measures host wall-clock time (the

@@ -312,3 +312,33 @@ func BenchmarkAblationDDIOExt(b *testing.B) {
 		b.ReportMetric(r.VictimLatNS, "victim-ns-"+r.Variant)
 	}
 }
+
+// BenchmarkNICPollRx measures one epoch of the Leaky DMA datapath: line-
+// rate NIC delivery into the Rx rings, the OVS cores polling their VFs,
+// and the DDIO writes the paper is about. Rings and the EMC are warmed
+// first so the steady-state poll path is what's timed.
+func BenchmarkNICPollRx(b *testing.B) {
+	s := exp.NewLeakyScenario(exp.LeakyOpts{Scale: 100, PktSize: 64})
+	s.P.Run(1e7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.P.Step()
+	}
+}
+
+// BenchmarkFleetRound measures the fleet simulator: one 4-host, 4-round
+// canary rollout per iteration (sequential host stepping plus controller
+// aggregation), reported per round.
+func BenchmarkFleetRound(b *testing.B) {
+	const rounds = 4
+	for i := 0; i < b.N; i++ {
+		o := exp.FleetOpts{
+			Hosts: 4, Topology: "striped", Rollout: "canary",
+			Scale: 3200, Rounds: rounds, RoundNS: 0.2e9, IntervalNS: 0.05e9,
+		}
+		if _, _, err := exp.RunFleet(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+}

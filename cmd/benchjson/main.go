@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark runs can be committed (results/bench.json),
+// diffed, and consumed by tooling without re-parsing the bench text
+// format everywhere.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > results/bench.json
+//	benchjson -in bench.txt -out results/bench.json
+//
+// The output is deterministic for a given input: benchmarks appear in
+// input order and metric keys are sorted by encoding/json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark's name without the "Benchmark" prefix and
+	// the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the
+	// line: ns/op, B/op, allocs/op, and any b.ReportMetric custom units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   7 B/op ...".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	inPath := flag.String("in", "", "read bench text from this file instead of stdin")
+	outPath := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines in input")
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	os.Stdout.Write(out)
+}
+
+// Parse reads `go test -bench` output and collects the header fields and
+// every benchmark result line. Unrecognised lines (PASS, ok, coverage)
+// are ignored.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch k {
+			case "goos":
+				rep.Goos = v
+			case "goarch":
+				rep.Goarch = v
+			case "pkg":
+				rep.Pkg = v
+			case "cpu":
+				rep.CPU = v
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Procs: 1, Metrics: map[string]float64{}}
+		if m[2] != "" {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad procs suffix in %q", line)
+			}
+			b.Procs = p
+		}
+		n, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q", line)
+		}
+		b.Iterations = n
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: odd value/unit fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: iatsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLLCAccess-8     	12345678	        95.31 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNICPollRx  	       5	    365033 ns/op
+BenchmarkFleetRound 	       5	 136997007 ns/op	  34249127 ns/round
+BenchmarkTable2DaemonIteration-8   	       6	 180000000 ns/op	       770 stable-us/iter	       900 unstable-us/iter
+PASS
+ok  	iatsim	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "iatsim" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	llc := rep.Benchmarks[0]
+	if llc.Name != "LLCAccess" || llc.Procs != 8 || llc.Iterations != 12345678 {
+		t.Fatalf("llc = %+v", llc)
+	}
+	if llc.Metrics["ns/op"] != 95.31 || llc.Metrics["allocs/op"] != 0 {
+		t.Fatalf("llc metrics = %+v", llc.Metrics)
+	}
+	nic := rep.Benchmarks[1]
+	if nic.Name != "NICPollRx" || nic.Procs != 1 {
+		t.Fatalf("nic = %+v", nic)
+	}
+	daemon := rep.Benchmarks[3]
+	if daemon.Metrics["stable-us/iter"] != 770 {
+		t.Fatalf("custom metric lost: %+v", daemon.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 12 34\n",         // odd value/unit fields
+		"BenchmarkX-8 12 nope ns/op\n", // non-numeric value
+	} {
+		rep, err := Parse(strings.NewReader(bad))
+		if err == nil && len(rep.Benchmarks) > 0 {
+			t.Errorf("input %q parsed to %+v, want error or skip", bad, rep.Benchmarks)
+		}
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok  \tiatsim\t1.0s\n--- some test log\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

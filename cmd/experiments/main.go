@@ -50,6 +50,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "base RNG seed; 0 selects the canonical per-point seeds used by results/")
 	retries := flag.Int("retries", 0, "re-run a crashed sweep point up to this many times before reporting it failed")
 	chaos := flag.String("chaos", "", "run the stability-under-faults experiment with this fault profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
+	fleetGrid := flag.Bool("fleet", false, "run the fleet rollout grid (strategies x canary-cohort fault storm)")
 	flag.Parse()
 
 	want, selectors, err := parseSelectors(*figs, *tabs, *all, *ablations)
@@ -69,6 +70,12 @@ func main() {
 		selectors = append(selectors, "chaos")
 		sort.Strings(selectors)
 	}
+	if *fleetGrid {
+		// Like chaos, the fleet grid is opt-in rather than part of -all.
+		want["fleet"] = true
+		selectors = append(selectors, "fleet")
+		sort.Strings(selectors)
+	}
 	if len(want) == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -78,9 +85,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The chaos profile (and the seed its fault schedules derive from) is
+	// recorded for every run — "off" included — so any CSV is reproducible
+	// from its manifest alone.
+	var chaosSeed int64
+	if *chaos != "" {
+		chaosSeed = *seed // per-point schedules derive from the job seeds
+	}
 	manifest := harness.NewManifest(harness.RunOptions{
 		Jobs: *jobs, Seed: *seed, Retries: *retries,
-		Selectors: selectors, Full: *full, Chaos: *chaos,
+		Selectors: selectors, Full: *full, Chaos: *chaos, ChaosSeed: chaosSeed,
 	})
 	exp.SetExec(exp.Exec{
 		Jobs: *jobs, Seed: *seed, Retries: *retries,
@@ -127,6 +141,7 @@ func main() {
 	run("abl-sens", func() any { return exp.RunSensitivity(w, 100) })
 	run("abl-resq", func() any { return exp.RunAblationResQ(w, 100) })
 	run("chaos", func() any { return exp.RunChaos(w, chaosOpts(*full, *chaos)) })
+	run("fleet", func() any { return exp.RunFleetGrid(w, fleetOpts(*full, *chaos, *seed)) })
 
 	manifest.Finish()
 	if *jsonDir != "" {
@@ -260,6 +275,18 @@ func chaosOpts(full bool, profile string) exp.ChaosOpts {
 	o.Profile = profile
 	if full {
 		o.Scales = []float64{0, 0.5, 1, 2, 4, 8}
+	}
+	return o
+}
+
+func fleetOpts(full bool, chaos string, seed int64) exp.FleetOpts {
+	o := exp.DefaultFleetOpts()
+	o.Seed = seed
+	if chaos != "" {
+		o.Storm = chaos // the grid storms its canary cohort with -chaos
+	}
+	if full {
+		o.Hosts = 32
 	}
 	return o
 }

@@ -1,0 +1,202 @@
+// Command fleetd is the fleet simulator's CLI: N simulated hosts — each
+// a full platform running the paper's Leaky DMA scenario with its own
+// IAT daemon, seed, workload mix and fault profile — stepped in rounds
+// by a bounded worker pool under a central controller that aggregates
+// per-host health into fleet metrics and rolls a tighter DDIO way budget
+// out via the chosen strategy, rolling back automatically when the
+// canary cohort regresses against the control cohort.
+//
+// Usage:
+//
+//	fleetd -hosts 32 -rollout canary                 # clean canary rollout
+//	fleetd -hosts 32 -rollout canary -chaos heavy    # storm the canary cohort
+//	fleetd -hosts 32 -rollout bigbang -chaos heavy   # what no canary costs you
+//	fleetd -hosts 32 -jobs 8 -csv out/               # out/fleet.csv (identical at any -jobs)
+//	fleetd -telemetry tel/ -json out/                # snapshots + run manifest
+//
+// Hosts are stepped one job per host per round; aggregate rows, CSV and
+// telemetry snapshots are byte-identical at any -jobs value.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"iatsim/internal/exp"
+	"iatsim/internal/faults"
+	"iatsim/internal/fleet"
+	"iatsim/internal/harness"
+	"iatsim/internal/telemetry"
+)
+
+// usageError marks a bad invocation: main reports it on stderr and exits
+// 2, like flag.ErrHelp, instead of the exit-1 runtime-failure path.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+			os.Exit(2)
+		}
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the CLI. Output on stdout is deterministic
+// for a given flag set.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 8, "number of simulated hosts")
+	topology := fs.String("topology", "striped", "workload-mix assignment across hosts ("+strings.Join(exp.TopologyNames(), ",")+")")
+	rollout := fs.String("rollout", "canary", "policy rollout strategy ("+strings.Join(fleet.StrategyNames(), ",")+")")
+	rounds := fs.Int("rounds", 8, "aggregation rounds to run")
+	roundSecs := fs.Float64("round", 0.3, "simulated seconds per round per host")
+	interval := fs.Float64("interval", 0.1, "IAT polling interval in simulated seconds")
+	scale := fs.Float64("scale", 800, "simulation scale factor")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "hosts stepped concurrently (output is identical at any value)")
+	seed := fs.Int64("seed", 0, "base seed; per-host seeds and fault schedules derive from it")
+	chaos := fs.String("chaos", "", "arm a correlated fault storm on the canary cohort with this profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the storm's per-host fault schedules")
+	csvDir := fs.String("csv", "", "write the per-round aggregate rows as <dir>/fleet.csv")
+	jsonDir := fs.String("json", "", "write the run manifest as JSON into this directory")
+	telDir := fs.String("telemetry", "", "write controller and merged-host telemetry snapshots into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Validate every flag before assembling anything: a bad value must
+	// fail fast (exit 2), not crash mid-run or complete a long simulation
+	// and then fail to write its outputs.
+	if *hosts < 1 {
+		return usageError{fmt.Sprintf("-hosts must be >= 1 (got %d)", *hosts)}
+	}
+	if *rounds < 1 {
+		return usageError{fmt.Sprintf("-rounds must be >= 1 (got %d)", *rounds)}
+	}
+	if *roundSecs <= 0 {
+		return usageError{fmt.Sprintf("-round must be positive (got %g)", *roundSecs)}
+	}
+	if *interval <= 0 {
+		return usageError{fmt.Sprintf("-interval must be positive (got %g)", *interval)}
+	}
+	if *scale <= 0 {
+		return usageError{fmt.Sprintf("-scale must be positive (got %g)", *scale)}
+	}
+	if *jobs < 1 {
+		return usageError{fmt.Sprintf("-jobs must be >= 1 (got %d)", *jobs)}
+	}
+	valid := false
+	for _, t := range exp.TopologyNames() {
+		if *topology == t {
+			valid = true
+		}
+	}
+	if !valid {
+		return usageError{fmt.Sprintf("-topology: unknown topology %q (valid: %s)", *topology, strings.Join(exp.TopologyNames(), ", "))}
+	}
+	if _, err := fleet.StrategyByName(*rollout); err != nil {
+		return usageError{fmt.Sprintf("-rollout: %v", err)}
+	}
+	if *chaos != "" {
+		if _, err := faults.ProfileByName(*chaos); err != nil {
+			return usageError{fmt.Sprintf("-chaos: %v", err)}
+		}
+	}
+	for _, dir := range []string{*csvDir, *jsonDir, *telDir} {
+		if dir != "" {
+			if err := ensureWritableDir(dir); err != nil {
+				return usageError{err.Error()}
+			}
+		}
+	}
+
+	// The storm profile and its seed are recorded for every run — "off"
+	// included — so any CSV is reproducible from its manifest alone.
+	var stormSeed int64
+	if *chaos != "" {
+		stormSeed = *chaosSeed
+	}
+	manifest := harness.NewManifest(harness.RunOptions{
+		Jobs: *jobs, Seed: *seed,
+		Selectors: []string{"fleet"},
+		Chaos:     *chaos, ChaosSeed: stormSeed,
+	})
+	exp.SetExec(exp.Exec{Jobs: *jobs, Seed: *seed, Manifest: manifest})
+
+	tel := telemetry.NewRegistry()
+	rep, fleetHosts, err := exp.RunFleet(stdout, exp.FleetOpts{
+		Hosts: *hosts, Topology: *topology, Rollout: *rollout,
+		Storm: *chaos, StormSeed: stormSeed,
+		Scale: *scale, Rounds: *rounds,
+		RoundNS: *roundSecs * 1e9, IntervalNS: *interval * 1e9,
+		Seed: *seed, Tel: tel,
+	})
+	if err != nil {
+		return err
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	fmt.Fprintf(stdout, "fleetd: done; %d hosts, %d rounds; final phase %s, %d host(s) on new policy, rolled back: %v\n",
+		*hosts, *rounds, last.Phase, rep.FinalOnNew, rep.RolledBack)
+
+	if *csvDir != "" {
+		if err := exp.SaveRowsCSV(*csvDir, "fleet", rep.Rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fleetd: rows written to %s\n", filepath.Join(*csvDir, "fleet.csv"))
+	}
+	if *telDir != "" {
+		now := fleetHosts[len(fleetHosts)-1].P.NowNS()
+		if err := tel.Snapshot(now).WriteFiles(filepath.Join(*telDir, "controller")); err != nil {
+			return err
+		}
+		merged, err := exp.MergeFleetTelemetry(fleetHosts)
+		if err != nil {
+			return err
+		}
+		if err := merged.WriteFiles(filepath.Join(*telDir, "hosts")); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fleetd: telemetry snapshots written to %s/{controller,hosts}.{json,csv,trace.json}\n", *telDir)
+	}
+	manifest.Finish()
+	if *jsonDir != "" {
+		path, err := manifest.Write(*jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fleetd: manifest written to %s\n", path)
+	}
+	if manifest.Failures > 0 {
+		return fmt.Errorf("fleetd: %d of %d step jobs failed", manifest.Failures, manifest.TotalJobs)
+	}
+	return nil
+}
+
+// ensureWritableDir creates dir if needed and probes that files can
+// actually be created in it, so a typo'd or read-only output target is
+// caught before the simulation runs.
+func ensureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".fleetd-probe-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iatsim/internal/harness"
+	"iatsim/internal/telemetry"
+)
+
+// smokeArgs is a fleet small and time-compressed enough for a unit test.
+func smokeArgs(extra ...string) []string {
+	args := []string{
+		"-hosts", "4", "-rounds", "4",
+		"-round", "0.2", "-interval", "0.05", "-scale", "3200",
+	}
+	return append(args, extra...)
+}
+
+// TestFleetdDeterministicAcrossJobs runs the same fleet at -jobs 1 and
+// -jobs 4 and requires byte-identical stdout, aggregate CSV and telemetry
+// snapshots — the binary-level form of the fleet determinism contract.
+func TestFleetdDeterministicAcrossJobs(t *testing.T) {
+	run1 := runFleetd(t, "1")
+	run4 := runFleetd(t, "4")
+	for name, pair := range map[string][2]string{
+		"stdout":     {run1.stdout, run4.stdout},
+		"fleet.csv":  {run1.csv, run4.csv},
+		"controller": {run1.controller, run4.controller},
+		"hosts":      {run1.hosts, run4.hosts},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s differs between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", name, pair[0], pair[1])
+		}
+	}
+	if !strings.Contains(run1.stdout, "fleetd: done;") {
+		t.Fatalf("run did not complete:\n%s", run1.stdout)
+	}
+}
+
+type fleetdRun struct {
+	stdout, csv, controller, hosts string
+}
+
+func runFleetd(t *testing.T, jobs string) fleetdRun {
+	t.Helper()
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run(smokeArgs(
+		"-jobs", jobs, "-chaos", "default",
+		"-csv", dir, "-telemetry", dir,
+	), &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	return fleetdRun{
+		// The output paths embed the per-test temp dir; normalise them so
+		// the rest of stdout can be compared byte-for-byte.
+		stdout:     strings.ReplaceAll(out.String(), dir, "DIR"),
+		csv:        read("fleet.csv"),
+		controller: read("controller.json"),
+		hosts:      read("hosts.json"),
+	}
+}
+
+// TestTelemetrySnapshotsValidate checks the controller and merged-host
+// snapshots parse and self-validate.
+func TestTelemetrySnapshotsValidate(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(smokeArgs("-telemetry", dir), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, name := range []string{"controller.json", "hosts.json"} {
+		snap, err := telemetry.ReadSnapshotFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := snap.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(snap.Metrics) == 0 {
+			t.Errorf("%s: no metrics", name)
+		}
+	}
+}
+
+// TestManifestRecordsChaos checks the run manifest records the storm
+// profile and seed for every run — "off" when no storm is armed.
+func TestManifestRecordsChaos(t *testing.T) {
+	readManifest := func(extra ...string) *harness.Manifest {
+		t.Helper()
+		dir := t.TempDir()
+		var out bytes.Buffer
+		if err := run(smokeArgs(append(extra, "-json", dir)...), &out); err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := new(harness.Manifest)
+		if err := json.Unmarshal(b, m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := readManifest()
+	if m.Options.Chaos != "off" || m.Options.ChaosSeed != 0 {
+		t.Errorf("storm-free manifest records chaos=%q seed=%d, want off/0", m.Options.Chaos, m.Options.ChaosSeed)
+	}
+	if m.TotalJobs != 16 { // 4 hosts x 4 rounds
+		t.Errorf("TotalJobs = %d, want 16", m.TotalJobs)
+	}
+	m = readManifest("-chaos", "heavy", "-chaos-seed", "7")
+	if m.Options.Chaos != "heavy" || m.Options.ChaosSeed != 7 {
+		t.Errorf("storm manifest records chaos=%q seed=%d, want heavy/7", m.Options.Chaos, m.Options.ChaosSeed)
+	}
+}
+
+// TestUsageErrors checks every invalid invocation fails with the exit-2
+// usage-error class before any simulation work happens.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-hosts", "0"},
+		{"-rounds", "0"},
+		{"-round", "-1"},
+		{"-interval", "0"},
+		{"-scale", "-5"},
+		{"-jobs", "0"},
+		{"-topology", "mesh"},
+		{"-rollout", "yolo"},
+		{"-chaos", "not-a-profile"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		err := run(args, &out)
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("args %v: got %v, want usageError", args, err)
+		}
+	}
+}

@@ -84,13 +84,14 @@ type Daemon struct {
 
 	// Self-healing state (see health.go): consecutive bad iterations,
 	// consecutive sane samples while degraded, the degraded flag, the
-	// backoff-scaled re-arm requirement, and the per-iteration
-	// write-failure marker.
+	// backoff-scaled re-arm requirement, the clean-iteration streak that
+	// unwinds it, and the per-iteration write-failure marker.
 	health          HealthStats
 	consecBad       int
 	saneStreak      int
 	degraded        bool
 	rearmNeed       int
+	cleanStreak     int
 	writeFailedIter bool
 
 	// OnIteration, when set, is invoked at the end of every iteration.
@@ -124,6 +125,36 @@ func NewDaemon(sys System, p Params, opts Options) (*Daemon, error) {
 		topCLOS:    -1,
 		lastIterNS: -1e18,
 	}, nil
+}
+
+// SetParams applies a new parameter set to a running daemon — the
+// control-plane path for policy rollouts (internal/fleet): the set is
+// validated exactly as at construction and replaces P between iterations
+// on success. The current DDIO allocation is clamped into the new
+// [DDIOWaysMin, DDIOWaysMax] bounds — reprogramming the register when the
+// clamp changes it — and the FSM keeps its state, so an in-flight
+// adaptation simply continues under the new limits. On error the old
+// parameters stay in force.
+func (d *Daemon) SetParams(p Params) error {
+	p = p.withRobustnessDefaults()
+	if err := p.Validate(d.nWays); err != nil {
+		return err
+	}
+	d.P = p
+	// ddioWays is 0 until the first Tick runs Get Tenant Info; the initial
+	// layout adopts the programmed mask then, so there is nothing to clamp.
+	if d.ddioWays > 0 {
+		clamped := min(max(d.ddioWays, p.DDIOWaysMin), p.DDIOWaysMax)
+		if clamped != d.ddioWays {
+			d.ddioWays = clamped
+			if !d.Opts.DisableDDIOAdjust {
+				d.programDDIO(cache.ContiguousMask(d.nWays-d.ddioWays, d.ddioWays))
+			}
+		}
+	}
+	d.emitHealth(telemetry.SevInfo, "params_update",
+		fmt.Sprintf("ddio=[%d,%d] interval=%gns missLow=%.3g/s", p.DDIOWaysMin, p.DDIOWaysMax, p.IntervalNS, p.ThresholdMissLowPerSec))
+	return nil
 }
 
 // State returns the FSM state.

@@ -16,6 +16,7 @@ type HealthStats struct {
 	WriteFailures uint64 // mask writes that never verified within retries
 	Degradations  uint64 // falls back to the safe static allocation
 	Rearms        uint64 // watchdog re-arms of the FSM
+	BackoffResets uint64 // re-arm backoff cleared by a sustained clean run
 	Degraded      bool   // currently holding the safe static allocation
 }
 
@@ -61,13 +62,32 @@ func (d *Daemon) rejectSample(nowNS float64, cur intervalSample, reason string) 
 	d.emit(nowNS, cur, false, "sample rejected: "+reason)
 }
 
+// backoffResetFactor scales how long the daemon must run clean before the
+// exponential re-arm backoff is forgiven: backoffResetFactor * RearmAfter
+// consecutive clean iterations reset rearmNeed to the base requirement.
+const backoffResetFactor = 8
+
 // finishIter closes one normal iteration: a write failure during it counts
-// toward degradation, a clean one resets the bad streak.
+// toward degradation, a clean one resets the bad streak and — sustained
+// long enough — unwinds the re-arm backoff, so an isolated fault burst far
+// in the future starts from the base RearmAfter requirement again rather
+// than the 8x cap a long-past flapping episode left behind.
 func (d *Daemon) finishIter() {
 	if d.writeFailedIter {
 		d.noteBad()
-	} else {
-		d.consecBad = 0
+		return
+	}
+	d.consecBad = 0
+	if d.rearmNeed > 0 {
+		d.cleanStreak++
+		if need := backoffResetFactor * d.P.RearmAfter; d.cleanStreak >= need {
+			d.rearmNeed = 0
+			d.cleanStreak = 0
+			d.health.BackoffResets++
+			d.bumpHealth("backoff_resets")
+			d.emitHealth(telemetry.SevInfo, "backoff_reset",
+				fmt.Sprintf("after %d clean iterations", need))
+		}
 	}
 }
 
@@ -75,6 +95,7 @@ func (d *Daemon) finishIter() {
 // daemon once it reaches DegradeAfter.
 func (d *Daemon) noteBad() {
 	d.consecBad++
+	d.cleanStreak = 0
 	if !d.degraded && d.consecBad >= d.P.DegradeAfter {
 		d.enterDegraded()
 	}

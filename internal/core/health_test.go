@@ -198,6 +198,151 @@ func TestDaemonDegradesOnPersistentWriteFailures(t *testing.T) {
 	}
 }
 
+// degradeOnce feeds DegradeAfter consecutive glitches, forcing one
+// degradation.
+func degradeOnce(t *testing.T, d *Daemon, m *mockSys, tick func()) {
+	t.Helper()
+	before := d.Health().Degradations
+	for i := 0; i < d.P.DegradeAfter; i++ {
+		glitch(m, tick)
+	}
+	if h := d.Health(); !h.Degraded || h.Degradations != before+1 {
+		t.Fatalf("degradation did not trigger: %+v", h)
+	}
+}
+
+// rearm feeds sane intervals until the degraded daemon re-arms.
+func rearm(t *testing.T, d *Daemon, m *mockSys, tick func()) {
+	t.Helper()
+	for i := 0; i < d.rearmNeed+1 && d.Health().Degraded; i++ {
+		steady(m, tick)
+	}
+	if d.Health().Degraded {
+		t.Fatalf("daemon still degraded after %d sane samples", d.rearmNeed)
+	}
+}
+
+func TestRearmBackoffDoublesAndCapsAtEightX(t *testing.T) {
+	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+	d := testDaemon(t, m, Options{})
+	now := 0.0
+	tick := func() { now += 100e6; d.Tick(now) }
+	steady(m, tick)
+	steady(m, tick)
+
+	// RearmAfter=2: successive degradations must require 2, 4, 8, 16 sane
+	// samples, then stay capped at 8x = 16.
+	want := []int{2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		degradeOnce(t, d, m, tick)
+		if d.rearmNeed != w {
+			t.Fatalf("degradation %d: rearmNeed = %d, want %d", i+1, d.rearmNeed, w)
+		}
+		rearm(t, d, m, tick)
+	}
+	if h := d.Health(); h.BackoffResets != 0 {
+		t.Fatalf("backoff reset without a sustained clean run: %+v", h)
+	}
+}
+
+func TestRearmBackoffResetsAfterRecovery(t *testing.T) {
+	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+	d := testDaemon(t, m, Options{})
+	reg := telemetry.NewRegistry()
+	d.Tel = reg
+	now := 0.0
+	tick := func() { now += 100e6; d.Tick(now) }
+	steady(m, tick)
+	steady(m, tick)
+
+	// Two degradations leave the backoff doubled (4 sane samples needed).
+	degradeOnce(t, d, m, tick)
+	rearm(t, d, m, tick)
+	degradeOnce(t, d, m, tick)
+	if d.rearmNeed != 2*d.P.RearmAfter {
+		t.Fatalf("rearmNeed = %d, want %d", d.rearmNeed, 2*d.P.RearmAfter)
+	}
+	rearm(t, d, m, tick)
+
+	// One clean iteration short of the reset threshold: backoff persists.
+	for i := 0; i < backoffResetFactor*d.P.RearmAfter-1; i++ {
+		steady(m, tick)
+	}
+	if h := d.Health(); h.BackoffResets != 0 || d.rearmNeed == 0 {
+		t.Fatalf("backoff reset early: resets=%d rearmNeed=%d", h.BackoffResets, d.rearmNeed)
+	}
+	// The final clean iteration clears it.
+	steady(m, tick)
+	h := d.Health()
+	if h.BackoffResets != 1 || d.rearmNeed != 0 {
+		t.Fatalf("backoff not reset: resets=%d rearmNeed=%d", h.BackoffResets, d.rearmNeed)
+	}
+	if got := reg.Counter("daemon", "", "backoff_resets").Value(); got != 1 {
+		t.Fatalf("backoff_resets counter = %d", got)
+	}
+
+	// The next degradation starts from the base requirement again.
+	degradeOnce(t, d, m, tick)
+	if d.rearmNeed != d.P.RearmAfter {
+		t.Fatalf("rearmNeed after reset = %d, want %d", d.rearmNeed, d.P.RearmAfter)
+	}
+}
+
+func TestSetParamsClampsAndValidates(t *testing.T) {
+	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
+	d := testDaemon(t, m, Options{})
+	now := 0.0
+	tick := func() { now += 100e6; d.Tick(now) }
+	steady(m, tick)
+	steady(m, tick)
+
+	// Sustained I/O demand grows the DDIO allocation past 4 ways.
+	for i := 1; i <= 6; i++ {
+		m.advance(0, 1000, 2000, 100, 10)
+		m.advanceDDIO(100_000, uint64(1_000_000+i*300_000)/10)
+		tick()
+	}
+	if d.DDIOWays() <= 4 {
+		t.Fatalf("setup: ddioWays = %d, want > 4", d.DDIOWays())
+	}
+
+	// An invalid update must be rejected and leave P untouched.
+	bad := d.P
+	bad.DDIOWaysMax = 0
+	if err := d.SetParams(bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if d.P.DDIOWaysMax != 6 {
+		t.Fatalf("failed update mutated P: %+v", d.P)
+	}
+
+	// A tighter way budget clamps the live allocation and reprograms the
+	// register.
+	p := d.P
+	p.DDIOWaysMax = 4
+	p.SafeDDIOWays = 2
+	if err := d.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	if d.DDIOWays() != 4 {
+		t.Fatalf("ddioWays = %d, want clamped to 4", d.DDIOWays())
+	}
+	if want := cache.ContiguousMask(11-4, 4); m.ddio != want {
+		t.Fatalf("DDIO register = %v, want %v", m.ddio, want)
+	}
+
+	// The daemon keeps iterating under the new parameters.
+	before, _ := d.Iterations()
+	steady(m, tick)
+	steady(m, tick)
+	if after, _ := d.Iterations(); after <= before {
+		t.Fatal("daemon stopped iterating after SetParams")
+	}
+	if d.DDIOWays() > 4 {
+		t.Fatalf("ddioWays %d exceeds new max", d.DDIOWays())
+	}
+}
+
 func TestRobustnessDefaultsAndValidation(t *testing.T) {
 	p := DefaultParams()
 	if p.SaneIPCMax != 16 || p.SaneRateMax != 1e12 || p.WriteRetries != 2 ||

@@ -66,7 +66,9 @@ type Params struct {
 	DegradeAfter int
 	// RearmAfter is the number of consecutive sane samples required
 	// before a degraded daemon re-arms its FSM (default 2). Repeated
-	// degradations double the requirement, capped at 8x.
+	// degradations double the requirement, capped at 8x; 8x RearmAfter
+	// consecutive clean iterations after a re-arm reset the backoff to
+	// the base requirement.
 	RearmAfter int
 	// SafeDDIOWays is the static DDIO way count of the degraded fallback
 	// (default 2 clamped into [DDIOWaysMin, DDIOWaysMax]).

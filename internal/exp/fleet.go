@@ -1,0 +1,347 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"iatsim/internal/bridge"
+	"iatsim/internal/core"
+	"iatsim/internal/faults"
+	"iatsim/internal/fleet"
+	"iatsim/internal/telemetry"
+)
+
+// FleetOpts parameterises the fleet experiment: N simulated hosts — each
+// a full Leaky DMA platform with its own IAT daemon, seed, workload mix
+// and ambient fault profile — under a central rollout controller.
+type FleetOpts struct {
+	Hosts    int
+	Topology string // workload-mix assignment: uniform | striped | skewed
+	Rollout  string // bigbang | canary | staged
+	// Storm names the fault profile of a correlated storm armed on the
+	// canary cohort for the bake window ("" or "off" = no storm).
+	Storm     string
+	StormSeed int64
+
+	Scale      float64 // platform time-compression factor
+	Rounds     int     // aggregation rounds
+	RoundNS    float64 // simulated ns per round per host
+	IntervalNS float64 // IAT daemon polling interval
+	Seed       int64   // base seed; per-host seeds derive from it
+
+	// Tel, when non-nil, receives the controller's fleet-level metrics
+	// and events (hosts always carry their own registries).
+	Tel *telemetry.Registry
+}
+
+// DefaultFleetOpts returns simulation-friendly defaults: 8 hosts on a
+// striped mix, a canary rollout of the tighter DDIO budget, and rounds
+// long enough for a few daemon iterations each.
+func DefaultFleetOpts() FleetOpts {
+	return FleetOpts{
+		Hosts:      8,
+		Topology:   "striped",
+		Rollout:    "canary",
+		Scale:      800,
+		Rounds:     8,
+		RoundNS:    0.3e9,
+		IntervalNS: 0.1e9,
+	}
+}
+
+func (o FleetOpts) withDefaults() FleetOpts {
+	d := DefaultFleetOpts()
+	if o.Hosts == 0 {
+		o.Hosts = d.Hosts
+	}
+	if o.Topology == "" {
+		o.Topology = d.Topology
+	}
+	if o.Rollout == "" {
+		o.Rollout = d.Rollout
+	}
+	if o.Scale == 0 {
+		o.Scale = d.Scale
+	}
+	if o.Rounds == 0 {
+		o.Rounds = d.Rounds
+	}
+	if o.RoundNS == 0 {
+		o.RoundNS = d.RoundNS
+	}
+	if o.IntervalNS == 0 {
+		o.IntervalNS = d.IntervalNS
+	}
+	return o
+}
+
+// TopologyNames lists the valid -topology values.
+func TopologyNames() []string { return []string{"uniform", "striped", "skewed"} }
+
+// fleetMixes are the workload mixes fleet hosts draw from: the paper's
+// Leaky DMA scenario at MTU packets, at small-packet line rate (the DDIO
+// worst case), and flow-heavy (EMC-thrashing) variants.
+var fleetMixes = []struct {
+	name string
+	opts LeakyOpts
+}{
+	{"pkt1500", LeakyOpts{PktSize: 1500}},
+	{"pkt512", LeakyOpts{PktSize: 512}},
+	{"flows64", LeakyOpts{PktSize: 1500, Flows: 64}},
+}
+
+// mixFor assigns host id its workload mix under the topology.
+func mixFor(topology string, id int) (string, LeakyOpts, error) {
+	switch topology {
+	case "uniform":
+		m := fleetMixes[0]
+		return m.name, m.opts, nil
+	case "striped":
+		m := fleetMixes[id%len(fleetMixes)]
+		return m.name, m.opts, nil
+	case "skewed":
+		// Three quarters of the fleet runs the MTU mix; every fourth
+		// host is a small-packet outlier that stresses the I/O ways.
+		if id%4 == 3 {
+			m := fleetMixes[1]
+			return m.name, m.opts, nil
+		}
+		m := fleetMixes[0]
+		return m.name, m.opts, nil
+	}
+	return "", LeakyOpts{}, fmt.Errorf("exp: unknown fleet topology %q (valid: %v)", topology, TopologyNames())
+}
+
+// FleetPolicies returns the rollout pair the fleet experiment ships: the
+// incumbent policy keeps the default 6-way DDIO ceiling, the candidate
+// tightens it to 4 ways (the paper's Sec. VII tradeoff: fewer I/O ways
+// protect the compute tenants but cap delivered I/O throughput).
+// Thresholds defined against real time are divided by the platform Scale.
+func FleetPolicies(scale, intervalNS float64) (oldPol, newPol fleet.Policy) {
+	p := core.DefaultParams()
+	p.IntervalNS = intervalNS
+	p.ThresholdMissLowPerSec /= scale
+	p.SaneRateMax /= scale
+	oldPol = fleet.Policy{Name: "ddio-max6", Params: p}
+	pn := p
+	pn.DDIOWaysMax = 4
+	newPol = fleet.Policy{Name: "ddio-max4", Params: pn}
+	return oldPol, newPol
+}
+
+// BuildFleet assembles the fleet: one Leaky DMA platform per host with
+// its own seed-derived traffic, an IAT daemon on the old policy's
+// parameter shape, a private telemetry registry, and — on every fourth
+// host — a light ambient fault profile, so the fleet is heterogeneous in
+// both load and reliability. Host IDs are 0..Hosts-1 in slice order, as
+// fleet.Config requires.
+func BuildFleet(o FleetOpts) ([]*fleet.Host, error) {
+	o = o.withDefaults()
+	hosts := make([]*fleet.Host, 0, o.Hosts)
+	for id := 0; id < o.Hosts; id++ {
+		mixName, lo, err := mixFor(o.Topology, id)
+		if err != nil {
+			return nil, err
+		}
+		// Distinct per-host seeds even under the canonical base seed 0
+		// (DeriveSeed reserves 0), so hosts never share traffic streams.
+		seed := o.Seed + int64(id+1)*1009
+		lo.Scale = o.Scale
+		lo.Seed = seed
+		s := NewLeakyScenario(lo)
+		tel := telemetry.NewRegistry()
+		s.P.AttachTelemetry(tel)
+
+		params := core.DefaultParams()
+		params.IntervalNS = o.IntervalNS
+		params.ThresholdMissLowPerSec /= o.Scale
+		params.SaneRateMax /= o.Scale
+		daemon, err := core.NewDaemon(bridge.NewSystem(s.P), params, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		daemon.Tel = tel
+		s.P.AddController(daemon)
+
+		var prof faults.Profile
+		if id%4 == 1 {
+			prof, _ = faults.ProfileByName("light")
+		}
+		hosts = append(hosts, fleet.NewHost(fleet.HostSpec{
+			ID: id, Mix: mixName, Seed: seed,
+			Platform: s.P, Daemon: daemon, Tel: tel,
+			IOCores: s.OVSCores, Faults: prof,
+		}))
+	}
+	return hosts, nil
+}
+
+// FleetPlan builds the rollout plan for o (defaults from fleet.Plan).
+func FleetPlan(o FleetOpts) (fleet.Plan, error) {
+	strat, err := fleet.StrategyByName(o.Rollout)
+	if err != nil {
+		return fleet.Plan{}, err
+	}
+	oldPol, newPol := FleetPolicies(o.Scale, o.IntervalNS)
+	return fleet.Plan{Strategy: strat, Old: oldPol, New: newPol}, nil
+}
+
+// fleetStorm builds the canary-cohort storm for o (nil when none): armed
+// when the first wave switches, lasting through its bake window.
+func fleetStorm(o FleetOpts, plan fleet.Plan) (*fleet.Storm, error) {
+	if o.Storm == "" || o.Storm == "off" {
+		return nil, nil
+	}
+	prof, err := faults.ProfileByName(o.Storm)
+	if err != nil {
+		return nil, err
+	}
+	start, bake := plan.StartRound, plan.BakeRounds
+	if start == 0 {
+		start = 2
+	}
+	if bake == 0 {
+		bake = 2
+	}
+	return &fleet.Storm{
+		Profile: prof, Seed: o.StormSeed,
+		Target: fleet.CohortCanary, StartRound: start, Rounds: bake + 1,
+	}, nil
+}
+
+// RunFleet runs one fleet simulation under the current Exec policy and
+// prints the per-round aggregate table. The returned report's Rows are
+// the CSV shape (SaveRowsCSV-compatible); the hosts come back so callers
+// can inspect policy histories and merge per-host telemetry.
+func RunFleet(w io.Writer, o FleetOpts) (*fleet.Report, []*fleet.Host, error) {
+	o = o.withDefaults()
+	plan, err := FleetPlan(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	storm, err := fleetStorm(o, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	hosts, err := BuildFleet(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink telemetry.Sink
+	if o.Tel != nil {
+		sink = o.Tel
+	}
+	e := CurrentExec()
+	rep, err := fleet.Run(fleet.Config{
+		Hosts: hosts, Rounds: o.Rounds, RoundNS: o.RoundNS,
+		Workers: e.Jobs, Plan: plan, Storm: storm,
+		Tel: sink, Manifest: e.Manifest, Progress: e.Progress,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if w != nil {
+		stormName := o.Storm
+		if stormName == "" {
+			stormName = "off"
+		}
+		fmt.Fprintf(w, "Fleet — %d hosts (%s), rollout %s (%s -> %s), storm %s\n",
+			o.Hosts, o.Topology, o.Rollout, plan.Old.Name, plan.New.Name, stormName)
+		fmt.Fprintf(w, "%5s %-11s %5s %5s | %7s %7s %12s %12s | %5s %5s %4s %6s | %7s %7s %3s\n",
+			"round", "phase", "onNew", "storm", "p50ipc", "p99ipc", "p50thru/s", "p99thru/s",
+			"degr", "churn", "rej", "faults", "cIPC", "ctlIPC", "rb")
+		for _, r := range rep.Rows {
+			rb := ""
+			if r.RolledBack {
+				rb = "RB"
+			}
+			fmt.Fprintf(w, "%5d %-11s %5d %5d | %7.3f %7.3f %12.3g %12.3g | %5d %5d %4d %6d | %7.3f %7.3f %3s\n",
+				r.Round, r.Phase, r.NewPolicyHosts, r.StormHosts,
+				r.P50IPC, r.P99IPC, r.P50ThroughputPS, r.P99ThroughputPS,
+				r.DegradedHosts, r.MaskChurn, r.SampleRejects, r.Faults,
+				r.CanaryIPC, r.ControlIPC, rb)
+		}
+	}
+	return rep, hosts, nil
+}
+
+// FleetGridRow summarises one (rollout strategy, storm) cell of the
+// fleet grid — the CSV row shape of the fleet experiment.
+type FleetGridRow struct {
+	Rollout       string
+	Storm         string
+	RolledBack    bool
+	FinalOnNew    int
+	FinalPhase    string
+	P50IPC        float64 // last round, fleet-wide
+	DegradedHosts int     // last round
+	MaskChurn     uint64  // total over the run
+	Faults        uint64  // total injected (ambient + storm)
+}
+
+// RunFleetGrid sweeps rollout strategies × {no storm, canary-cohort
+// storm} over the same fleet shape: the big-bang rows are the cautionary
+// baseline (no control cohort, so the storm's damage sticks), the canary
+// and staged rows show the controller detecting the regression and
+// rolling the cohort back automatically.
+func RunFleetGrid(w io.Writer, o FleetOpts) []FleetGridRow {
+	o = o.withDefaults()
+	stormName := o.Storm
+	if stormName == "" {
+		stormName = "default"
+	}
+	var rows []FleetGridRow
+	for _, rollout := range fleet.StrategyNames() {
+		for _, storm := range []string{"off", stormName} {
+			oc := o
+			oc.Rollout = rollout
+			oc.Storm = storm
+			oc.Tel = nil
+			rep, _, err := RunFleet(nil, oc)
+			if err != nil {
+				panic(err) // cmd validates flags before running
+			}
+			last := rep.Rows[len(rep.Rows)-1]
+			row := FleetGridRow{
+				Rollout:       rollout,
+				Storm:         storm,
+				RolledBack:    rep.RolledBack,
+				FinalOnNew:    rep.FinalOnNew,
+				FinalPhase:    last.Phase,
+				P50IPC:        last.P50IPC,
+				DegradedHosts: last.DegradedHosts,
+			}
+			for _, r := range rep.Rows {
+				row.MaskChurn += r.MaskChurn
+				row.Faults += r.Faults
+			}
+			rows = append(rows, row)
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Fleet grid — %d hosts (%s), rollout strategies × canary-cohort fault storm\n",
+			o.Hosts, o.Topology)
+		fmt.Fprintf(w, "%8s %9s %11s %7s | %7s %5s %6s %7s\n",
+			"rollout", "storm", "final", "onNew", "p50ipc", "degr", "churn", "faults")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%8s %9s %11s %7d | %7.3f %5d %6d %7d\n",
+				r.Rollout, r.Storm, r.FinalPhase, r.FinalOnNew,
+				r.P50IPC, r.DegradedHosts, r.MaskChurn, r.Faults)
+		}
+	}
+	return rows
+}
+
+// MergeFleetTelemetry folds every host's telemetry snapshot into one
+// fleet-wide rollup at the fleet's current sim time.
+func MergeFleetTelemetry(hosts []*fleet.Host) (*telemetry.Snapshot, error) {
+	snaps := make([]*telemetry.Snapshot, 0, len(hosts))
+	var now float64
+	for _, h := range hosts {
+		snaps = append(snaps, h.Snapshot())
+		if t := h.P.NowNS(); t > now {
+			now = t
+		}
+	}
+	return telemetry.Merge(now, snaps...)
+}

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"iatsim/internal/telemetry"
+)
+
+// testFleetOpts is a fleet small and time-compressed enough to run under
+// -race: 4 hosts, striped mixes, a canary rollout over 6 rounds.
+func testFleetOpts() FleetOpts {
+	return FleetOpts{
+		Hosts:      4,
+		Topology:   "striped",
+		Rollout:    "canary",
+		Scale:      3200,
+		Rounds:     6,
+		RoundNS:    0.2e9,
+		IntervalNS: 0.05e9,
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers is the acceptance criterion: the
+// aggregate round CSV, the controller's telemetry snapshot and the merged
+// per-host telemetry rollup are byte-identical at -jobs 1 and -jobs 4,
+// storm included. The package test suite runs under -race in CI, so this
+// also proves the sharded stepping race-clean.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	t.Cleanup(func() { SetExec(Exec{}) })
+	run := func(jobs int) (csv, tel string) {
+		SetExec(Exec{Jobs: jobs})
+		o := testFleetOpts()
+		o.Storm = "default"
+		o.Tel = telemetry.NewRegistry()
+		rep, hosts, err := RunFleet(nil, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows bytes.Buffer
+		if err := WriteRowsCSV(&rows, rep.Rows); err != nil {
+			t.Fatal(err)
+		}
+		merged, err := MergeFleetTelemetry(hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps bytes.Buffer
+		if err := o.Tel.Snapshot(hosts[0].P.NowNS()).WriteJSON(&snaps); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.WriteJSON(&snaps); err != nil {
+			t.Fatal(err)
+		}
+		return rows.String(), snaps.String()
+	}
+	csv1, tel1 := run(1)
+	csv4, tel4 := run(4)
+	if csv1 != csv4 {
+		t.Errorf("round CSV differs between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", csv1, csv4)
+	}
+	if tel1 != tel4 {
+		t.Errorf("telemetry snapshots differ between -jobs 1 and -jobs 4")
+	}
+	if csv1 == "" {
+		t.Fatal("empty round CSV")
+	}
+}
+
+// TestFleetCanaryStormRollsBack is the rollout acceptance criterion: a
+// correlated fault storm seeded onto the canary cohort degrades it, the
+// controller detects the regression against the control cohort and rolls
+// the canary back automatically — and the control cohort never sees the
+// new policy at all.
+func TestFleetCanaryStormRollsBack(t *testing.T) {
+	t.Cleanup(func() { SetExec(Exec{}) })
+	SetExec(Exec{Jobs: 4})
+	o := testFleetOpts()
+	o.Hosts = 8
+	o.Storm = "heavy"
+	rep, hosts, err := RunFleet(nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RolledBack {
+		t.Fatal("canary-cohort fault storm did not trigger an automatic rollback")
+	}
+	if rep.FinalOnNew != 0 {
+		t.Fatalf("FinalOnNew = %d after rollback, want 0", rep.FinalOnNew)
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.Phase != "rolled-back" || !last.RolledBack {
+		t.Fatalf("final round row %+v, want rolled-back", last)
+	}
+	// The canary (host 0) went old -> new -> old; every control host
+	// stayed on the old policy the whole run.
+	want := []string{"ddio-max6", "ddio-max4", "ddio-max6"}
+	got := hosts[0].PolicyHistory()
+	if len(got) != len(want) {
+		t.Fatalf("canary policy history = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("canary policy history = %v, want %v", got, want)
+		}
+	}
+	for _, h := range hosts[1:] {
+		hist := h.PolicyHistory()
+		if len(hist) != 1 || hist[0] != "ddio-max6" {
+			t.Errorf("%s policy history = %v, want [ddio-max6] only", h.Name, hist)
+		}
+	}
+	// Per-round fault deltas must stay sane after the storm window ends:
+	// disarming retires the storm's cumulative count, and an underflow
+	// here would show up as a near-2^64 delta.
+	for round, obs := range rep.Obs {
+		for _, ob := range obs {
+			if ob.Faults > 1<<40 {
+				t.Errorf("round %d host %d: fault delta %d underflowed", round, ob.Host, ob.Faults)
+			}
+		}
+	}
+}
+
+// TestFleetNoStormPromotes sanity-checks the happy path: with no storm
+// the canary bakes clean and the whole fleet ends on the new policy.
+func TestFleetNoStormPromotes(t *testing.T) {
+	t.Cleanup(func() { SetExec(Exec{}) })
+	SetExec(Exec{Jobs: 2})
+	o := testFleetOpts()
+	rep, hosts, err := RunFleet(nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RolledBack {
+		t.Fatal("storm-free rollout rolled back")
+	}
+	if rep.FinalOnNew != o.Hosts {
+		t.Fatalf("FinalOnNew = %d, want %d", rep.FinalOnNew, o.Hosts)
+	}
+	for _, h := range hosts {
+		if h.Policy() != "ddio-max4" {
+			t.Errorf("%s ended on %q, want ddio-max4", h.Name, h.Policy())
+		}
+	}
+}
+
+func TestFleetTopologies(t *testing.T) {
+	for _, topo := range TopologyNames() {
+		names := map[string]bool{}
+		for id := 0; id < 8; id++ {
+			name, _, err := mixFor(topo, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names[name] = true
+		}
+		if topo == "uniform" && len(names) != 1 {
+			t.Errorf("uniform topology has %d mixes", len(names))
+		}
+		if topo != "uniform" && len(names) < 2 {
+			t.Errorf("%s topology has %d mixes, want >= 2", topo, len(names))
+		}
+	}
+	if _, _, err := mixFor("mesh", 0); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"iatsim/internal/core"
+)
+
+// Policy is a named daemon parameter set the control plane can roll out
+// (DDIO way budget, thresholds, polling interval — anything in
+// core.Params).
+type Policy struct {
+	Name   string
+	Params core.Params
+}
+
+// Strategy selects how a rollout expands across the fleet.
+type Strategy int
+
+const (
+	// BigBang switches every host at once. No control cohort remains,
+	// so regressions cannot be detected — the strategy exists as the
+	// cautionary baseline the canary comparison is made against.
+	BigBang Strategy = iota
+	// Canary switches a small cohort first, bakes it against the
+	// control cohort, then promotes to the whole fleet.
+	Canary
+	// Staged expands through three waves (canary fraction, half, all),
+	// baking each wave before the next.
+	Staged
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case BigBang:
+		return "bigbang"
+	case Canary:
+		return "canary"
+	case Staged:
+		return "staged"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// StrategyNames lists the valid -rollout values.
+func StrategyNames() []string { return []string{"bigbang", "canary", "staged"} }
+
+// StrategyByName parses a -rollout flag value.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "bigbang":
+		return BigBang, nil
+	case "canary":
+		return Canary, nil
+	case "staged":
+		return Staged, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown rollout strategy %q (valid: bigbang, canary, staged)", name)
+}
+
+// Plan is one policy rollout: which strategy, which policies, when it
+// starts, how long each wave bakes, and the regression thresholds that
+// trigger automatic rollback.
+type Plan struct {
+	Strategy Strategy
+	// Old is the policy every host starts on; New is rolled out.
+	Old, New Policy
+	// StartRound is the first round of the rollout; earlier rounds
+	// establish the fleet-wide baseline (default 2).
+	StartRound int
+	// BakeRounds is how many rounds each wave is observed before the
+	// next wave expands (default 2).
+	BakeRounds int
+	// CanaryFraction sizes the first wave for Canary/Staged (default
+	// 1/8, always at least one host).
+	CanaryFraction float64
+	// MaxDegradedDelta rolls the canary back when its degraded-host
+	// fraction exceeds the control cohort's by more than this (default
+	// 0.25).
+	MaxDegradedDelta float64
+	// MaxIPCDrop rolls the canary back when its median I/O-core IPC
+	// falls more than this fraction below the control cohort's median
+	// (default 0.2).
+	MaxIPCDrop float64
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.StartRound == 0 {
+		p.StartRound = 2
+	}
+	if p.BakeRounds == 0 {
+		p.BakeRounds = 2
+	}
+	if p.CanaryFraction == 0 {
+		p.CanaryFraction = 0.125
+	}
+	if p.MaxDegradedDelta == 0 {
+		p.MaxDegradedDelta = 0.25
+	}
+	if p.MaxIPCDrop == 0 {
+		p.MaxIPCDrop = 0.2
+	}
+	return p
+}
+
+// validate rejects nonsense plans up front.
+func (p Plan) validate() error {
+	if p.Old.Name == "" || p.New.Name == "" {
+		return fmt.Errorf("fleet: plan needs named Old and New policies")
+	}
+	if p.StartRound < 1 {
+		return fmt.Errorf("fleet: StartRound must be >= 1 (round 0 establishes the baseline)")
+	}
+	if p.BakeRounds < 1 {
+		return fmt.Errorf("fleet: BakeRounds must be >= 1")
+	}
+	if p.CanaryFraction <= 0 || p.CanaryFraction > 1 {
+		return fmt.Errorf("fleet: CanaryFraction %v out of (0,1]", p.CanaryFraction)
+	}
+	if p.Strategy < BigBang || p.Strategy > Staged {
+		return fmt.Errorf("fleet: unknown strategy %d", int(p.Strategy))
+	}
+	return nil
+}
+
+// waves returns the cumulative fleet fractions each wave switches to the
+// new policy.
+func (p Plan) waves() []float64 {
+	switch p.Strategy {
+	case Canary:
+		return []float64{p.CanaryFraction, 1}
+	case Staged:
+		return []float64{p.CanaryFraction, 0.5, 1}
+	}
+	return []float64{1}
+}
+
+// ceilFrac is the host count of a cumulative wave fraction: at least one
+// host, at most all of them.
+func ceilFrac(frac float64, n int) int {
+	c := int(math.Ceil(frac * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// CohortStats summarises one cohort for the regression comparison.
+type CohortStats struct {
+	Hosts        int
+	MedianIPC    float64
+	DegradedFrac float64
+}
+
+// cohortStats folds a cohort's observations.
+func cohortStats(obs []HostObs) CohortStats {
+	s := CohortStats{Hosts: len(obs)}
+	if len(obs) == 0 {
+		return s
+	}
+	ipcs := make([]float64, 0, len(obs))
+	degraded := 0
+	for _, o := range obs {
+		ipcs = append(ipcs, o.IPC)
+		if o.Degraded {
+			degraded++
+		}
+	}
+	s.MedianIPC = quantile(ipcs, 0.5)
+	s.DegradedFrac = float64(degraded) / float64(len(obs))
+	return s
+}
+
+// regressed is the rollback predicate: the new-policy cohort is
+// considered regressed vs the control cohort when materially more of it
+// is degraded, or its median I/O IPC trails the control median by more
+// than the tolerance. A conservative controller cannot (and does not try
+// to) distinguish policy-caused regressions from environmental ones — a
+// fault storm that happens to hit the canary cohort also rolls back.
+func regressed(canary, control CohortStats, p Plan) bool {
+	if canary.Hosts == 0 || control.Hosts == 0 {
+		return false
+	}
+	if canary.DegradedFrac > control.DegradedFrac+p.MaxDegradedDelta {
+		return true
+	}
+	return canary.MedianIPC < control.MedianIPC*(1-p.MaxIPCDrop)
+}
+
+// controller is the rollout state machine Run drives once per round.
+type controller struct {
+	plan  Plan
+	waves []float64
+	n     int
+
+	wave       int // next wave index to apply
+	onNew      int // hosts currently on the new policy (a prefix of Hosts)
+	bake       int // bake rounds remaining for the current wave
+	rolledBack bool
+	done       bool // fully promoted
+}
+
+func newController(plan Plan, n int) *controller {
+	return &controller{plan: plan, waves: plan.waves(), n: n, bake: 0}
+}
+
+// beginRound advances the rollout if the previous wave finished baking
+// and returns how many hosts must be on the new policy this round.
+func (c *controller) beginRound(round int) int {
+	if c.rolledBack || c.done || round < c.plan.StartRound || c.bake > 0 {
+		return c.onNew
+	}
+	if c.wave < len(c.waves) {
+		c.onNew = ceilFrac(c.waves[c.wave], c.n)
+		c.wave++
+		c.bake = c.plan.BakeRounds
+	}
+	return c.onNew
+}
+
+// endRound evaluates the round's cohort health. It returns true when the
+// new-policy cohort regressed and the rollout must be rolled back (the
+// caller reverts the hosts); otherwise it advances the bake clock.
+func (c *controller) endRound(canary, control CohortStats) bool {
+	if c.rolledBack || c.onNew == 0 {
+		return false
+	}
+	// Only a partial rollout has a control cohort to compare against;
+	// past full promotion (and for big-bang from the start) there is no
+	// basis for automatic rollback.
+	if c.onNew < c.n && regressed(canary, control, c.plan) {
+		c.rolledBack = true
+		c.onNew = 0
+		return true
+	}
+	if c.bake > 0 {
+		c.bake--
+	}
+	if c.bake == 0 && c.wave == len(c.waves) {
+		c.done = true
+	}
+	return false
+}
+
+// phase labels the controller state for round rows and progress output.
+func (c *controller) phase() string {
+	switch {
+	case c.rolledBack:
+		return "rolled-back"
+	case c.onNew == 0:
+		return "baseline"
+	case c.onNew == c.n:
+		return "full"
+	case c.wave == 1:
+		return "canary"
+	default:
+		return fmt.Sprintf("wave%d", c.wave)
+	}
+}

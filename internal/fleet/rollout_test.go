@@ -1,0 +1,244 @@
+package fleet
+
+import (
+	"testing"
+
+	"iatsim/internal/core"
+)
+
+func testPlan(s Strategy) Plan {
+	return Plan{
+		Strategy: s,
+		Old:      Policy{Name: "old", Params: core.DefaultParams()},
+		New:      Policy{Name: "new", Params: core.DefaultParams()},
+	}.withDefaults()
+}
+
+// healthy returns cohort stats with identical health on both sides.
+func healthy(canaryHosts, controlHosts int) (CohortStats, CohortStats) {
+	return CohortStats{Hosts: canaryHosts, MedianIPC: 1.0},
+		CohortStats{Hosts: controlHosts, MedianIPC: 1.0}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range StrategyNames() {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != name {
+			t.Fatalf("round trip %q -> %v", name, s)
+		}
+	}
+	if _, err := StrategyByName("yolo"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestPlanWaves(t *testing.T) {
+	if w := testPlan(BigBang).waves(); len(w) != 1 || w[0] != 1 {
+		t.Fatalf("bigbang waves = %v", w)
+	}
+	if w := testPlan(Canary).waves(); len(w) != 2 || w[0] != 0.125 || w[1] != 1 {
+		t.Fatalf("canary waves = %v", w)
+	}
+	if w := testPlan(Staged).waves(); len(w) != 3 || w[1] != 0.5 {
+		t.Fatalf("staged waves = %v", w)
+	}
+}
+
+func TestCeilFrac(t *testing.T) {
+	cases := []struct {
+		frac float64
+		n    int
+		want int
+	}{
+		{0.125, 8, 1}, {0.125, 32, 4}, {0.125, 3, 1}, {0.5, 7, 4}, {1, 5, 5}, {0.001, 100, 1},
+	}
+	for _, c := range cases {
+		if got := ceilFrac(c.frac, c.n); got != c.want {
+			t.Errorf("ceilFrac(%v, %d) = %d, want %d", c.frac, c.n, got, c.want)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if got := quantile(vals, 0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := quantile(vals, 0.99); got != 5 {
+		t.Fatalf("p99 = %v, want 5", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Fatalf("quantile(nil) = %v", got)
+	}
+	// The input must not be reordered.
+	if vals[0] != 5 || vals[4] != 3 {
+		t.Fatalf("quantile mutated input: %v", vals)
+	}
+}
+
+func TestControllerCanaryPromotes(t *testing.T) {
+	// 8 hosts, canary 1/8, start round 2, bake 2: the canary cohort (1
+	// host) runs rounds 2-3, the full fleet switches at round 4.
+	ctrl := newController(testPlan(Canary), 8)
+	wantOnNew := []int{0, 0, 1, 1, 8, 8, 8}
+	wantPhase := []string{"baseline", "baseline", "canary", "canary", "full", "full", "full"}
+	for round := 0; round < len(wantOnNew); round++ {
+		onNew := ctrl.beginRound(round)
+		if onNew != wantOnNew[round] {
+			t.Fatalf("round %d: onNew = %d, want %d", round, onNew, wantOnNew[round])
+		}
+		if ctrl.phase() != wantPhase[round] {
+			t.Fatalf("round %d: phase = %q, want %q", round, ctrl.phase(), wantPhase[round])
+		}
+		canary, control := healthy(onNew, 8-onNew)
+		if ctrl.endRound(canary, control) {
+			t.Fatalf("round %d: healthy fleet rolled back", round)
+		}
+	}
+	if !ctrl.done || ctrl.rolledBack {
+		t.Fatalf("controller not promoted: %+v", ctrl)
+	}
+}
+
+func TestControllerStagedWaves(t *testing.T) {
+	// 32 hosts, staged 1/8 -> 1/2 -> all with bake 2 from round 2.
+	ctrl := newController(testPlan(Staged), 32)
+	wantOnNew := []int{0, 0, 4, 4, 16, 16, 32, 32}
+	for round := 0; round < len(wantOnNew); round++ {
+		onNew := ctrl.beginRound(round)
+		if onNew != wantOnNew[round] {
+			t.Fatalf("round %d: onNew = %d, want %d", round, onNew, wantOnNew[round])
+		}
+		canary, control := healthy(onNew, 32-onNew)
+		ctrl.endRound(canary, control)
+	}
+	if ctrl.phase() != "full" || !ctrl.done {
+		t.Fatalf("staged rollout did not complete: phase=%q", ctrl.phase())
+	}
+}
+
+func TestControllerRollsBackOnDegradedCanary(t *testing.T) {
+	ctrl := newController(testPlan(Canary), 8)
+	ctrl.beginRound(0)
+	ctrl.endRound(healthy(0, 8))
+	ctrl.beginRound(1)
+	ctrl.endRound(healthy(0, 8))
+	onNew := ctrl.beginRound(2)
+	if onNew != 1 {
+		t.Fatalf("canary cohort = %d, want 1", onNew)
+	}
+	canary := CohortStats{Hosts: 1, MedianIPC: 1.0, DegradedFrac: 1.0}
+	control := CohortStats{Hosts: 7, MedianIPC: 1.0, DegradedFrac: 0}
+	if !ctrl.endRound(canary, control) {
+		t.Fatal("degraded canary did not roll back")
+	}
+	if !ctrl.rolledBack || ctrl.onNew != 0 || ctrl.phase() != "rolled-back" {
+		t.Fatalf("controller after rollback: %+v", ctrl)
+	}
+	// The rollout never resumes.
+	for round := 3; round < 10; round++ {
+		if got := ctrl.beginRound(round); got != 0 {
+			t.Fatalf("round %d re-advanced a rolled-back rollout to %d", round, got)
+		}
+	}
+}
+
+func TestControllerRollsBackOnIPCRegression(t *testing.T) {
+	ctrl := newController(testPlan(Canary), 8)
+	for round := 0; round < 2; round++ {
+		ctrl.beginRound(round)
+		ctrl.endRound(healthy(0, 8))
+	}
+	ctrl.beginRound(2)
+	canary := CohortStats{Hosts: 1, MedianIPC: 0.5}
+	control := CohortStats{Hosts: 7, MedianIPC: 1.0}
+	if !ctrl.endRound(canary, control) {
+		t.Fatal("50% IPC drop did not roll back (tolerance is 20%)")
+	}
+	// A drop inside the tolerance must not.
+	ctrl2 := newController(testPlan(Canary), 8)
+	for round := 0; round < 2; round++ {
+		ctrl2.beginRound(round)
+		ctrl2.endRound(healthy(0, 8))
+	}
+	ctrl2.beginRound(2)
+	if ctrl2.endRound(CohortStats{Hosts: 1, MedianIPC: 0.9}, CohortStats{Hosts: 7, MedianIPC: 1.0}) {
+		t.Fatal("10% IPC drop rolled back under a 20% tolerance")
+	}
+}
+
+func TestBigBangCannotRollBack(t *testing.T) {
+	// Big-bang leaves no control cohort: even a fully degraded fleet has
+	// nothing to compare against, so the rollout sticks. That asymmetry
+	// is the point of canarying.
+	ctrl := newController(testPlan(BigBang), 8)
+	for round := 0; round < 2; round++ {
+		ctrl.beginRound(round)
+		ctrl.endRound(healthy(0, 8))
+	}
+	if onNew := ctrl.beginRound(2); onNew != 8 {
+		t.Fatalf("bigbang onNew = %d, want 8", onNew)
+	}
+	bad := CohortStats{Hosts: 8, MedianIPC: 0.01, DegradedFrac: 1}
+	if ctrl.endRound(bad, CohortStats{}) {
+		t.Fatal("bigbang rolled back without a control cohort")
+	}
+	if ctrl.rolledBack {
+		t.Fatal("rolledBack set")
+	}
+}
+
+func TestCohortStats(t *testing.T) {
+	obs := []HostObs{
+		{IPC: 0.4, Degraded: true},
+		{IPC: 0.8},
+		{IPC: 0.6},
+		{IPC: 1.0, Degraded: true},
+	}
+	s := cohortStats(obs)
+	if s.Hosts != 4 || s.DegradedFrac != 0.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MedianIPC != 0.6 { // nearest-rank p50 of {0.4,0.6,0.8,1.0}
+		t.Fatalf("median = %v", s.MedianIPC)
+	}
+	if z := cohortStats(nil); z.Hosts != 0 || z.MedianIPC != 0 {
+		t.Fatalf("empty cohort stats = %+v", z)
+	}
+}
+
+func TestRegressedNeedsBothCohorts(t *testing.T) {
+	p := testPlan(Canary)
+	bad := CohortStats{Hosts: 1, MedianIPC: 0, DegradedFrac: 1}
+	if regressed(bad, CohortStats{}, p) {
+		t.Fatal("regression declared without a control cohort")
+	}
+	if regressed(CohortStats{}, bad, p) {
+		t.Fatal("regression declared without a canary cohort")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	good := testPlan(Canary)
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Old.Name = ""
+	if bad.validate() == nil {
+		t.Error("unnamed old policy accepted")
+	}
+	bad = good
+	bad.CanaryFraction = 1.5
+	if bad.validate() == nil {
+		t.Error("canary fraction > 1 accepted")
+	}
+	bad = good
+	bad.StartRound = -1
+	if bad.validate() == nil {
+		t.Error("negative start round accepted")
+	}
+}

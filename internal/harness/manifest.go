@@ -16,8 +16,13 @@ type RunOptions struct {
 	Retries   int      `json:"retries,omitempty"`
 	Selectors []string `json:"selectors,omitempty"`
 	Full      bool     `json:"full,omitempty"`
-	// Chaos is the fault profile of a chaos-mode run (empty = no faults).
-	Chaos string `json:"chaos,omitempty"`
+	// Chaos is the fault profile the run armed. It is recorded for every
+	// run — NewManifest normalises an empty value to "off" — so any CSV
+	// can be reproduced from its manifest alone.
+	Chaos string `json:"chaos"`
+	// ChaosSeed is the base seed fault-injection schedules derive from
+	// (meaningless, and zero, when Chaos is "off").
+	ChaosSeed int64 `json:"chaos_seed"`
 }
 
 // Manifest is the per-run record written alongside the CSV export: run
@@ -42,6 +47,9 @@ const ManifestName = "manifest.json"
 
 // NewManifest starts a manifest for one regeneration run.
 func NewManifest(opts RunOptions) *Manifest {
+	if opts.Chaos == "" {
+		opts.Chaos = "off"
+	}
 	now := time.Now()
 	return &Manifest{
 		RunID:     fmt.Sprintf("exp-%s-%06x", now.UTC().Format("20060102-150405"), now.UnixNano()&0xFFFFFF),

@@ -36,6 +36,11 @@ func TestManifestRoundTrip(t *testing.T) {
 		!got.Options.Full || len(got.Options.Selectors) != 2 {
 		t.Fatalf("options mangled: %+v", got.Options)
 	}
+	// A run that armed no faults still records its chaos configuration,
+	// so the manifest alone reproduces the CSV.
+	if got.Options.Chaos != "off" || got.Options.ChaosSeed != 0 {
+		t.Fatalf("chaos fields not defaulted: %+v", got.Options)
+	}
 	if got.TotalJobs != 2 || got.Failures != 1 || len(got.Jobs) != 2 {
 		t.Fatalf("totals mangled: %+v", got)
 	}
@@ -47,6 +52,22 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if got.FinishedAt.Before(got.StartedAt) {
 		t.Fatalf("timestamps inverted: %v .. %v", got.StartedAt, got.FinishedAt)
+	}
+}
+
+func TestManifestRecordsChaosProfile(t *testing.T) {
+	m := NewManifest(RunOptions{Jobs: 1, Seed: 3, Chaos: "heavy", ChaosSeed: 99})
+	m.Finish()
+	path, err := m.Write(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options.Chaos != "heavy" || got.Options.ChaosSeed != 99 {
+		t.Fatalf("chaos fields mangled: %+v", got.Options)
 	}
 }
 

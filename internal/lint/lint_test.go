@@ -192,6 +192,16 @@ func TestMapOrderCoversSnapshotExports(t *testing.T) {
 	checkAgainstMarkers(t, "mapsnap", loadFixture(t, "mapsnap", "iatsim/internal/telemetry"))
 }
 
+func TestLintCoversFleet(t *testing.T) {
+	// internal/fleet is fully inside both analyzers' scope: the fleet's
+	// byte-identical-at-any-jobs contract relies on no wall clock and no
+	// raw goroutines in the stepping path (parallelism is delegated to
+	// internal/harness) and no map-ordered aggregate output. The fixture
+	// seeds one violation of each rule next to the sanctioned
+	// collect-then-sort shape, which must stay clean.
+	checkAgainstMarkers(t, "fleetagg", loadFixture(t, "fleetagg", "iatsim/internal/fleet"))
+}
+
 func TestMapOrderCatchesSeededViolations(t *testing.T) {
 	checkAgainstMarkers(t, "mapbad", loadFixture(t, "mapbad", "iatsim/internal/mapbad"))
 }

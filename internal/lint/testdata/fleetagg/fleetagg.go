@@ -1,0 +1,47 @@
+// Package fleetagg seeds the violations the fleet simulator must never
+// grow: wall-clock reads and raw goroutines in the stepping path (the
+// fleet delegates all parallelism to internal/harness) and unsorted map
+// iteration feeding the aggregate output. The fixture tests load it
+// under the iatsim/internal/fleet import path to prove the package sits
+// inside detlint's and maporder's enforcement scope — the fleet's
+// byte-identical-at-any-jobs contract depends on both.
+package fleetagg
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// RoundStamp stamps a round row with host wall-clock time instead of the
+// platform clock.
+func RoundStamp() int64 {
+	return time.Now().UnixNano() // want detlint
+}
+
+// StepHosts steps hosts on raw goroutines instead of the harness pool,
+// losing the submission-order result contract.
+func StepHosts(hosts []func()) {
+	for _, h := range hosts {
+		go h() // want detlint
+	}
+}
+
+// EmitByHost prints per-host observations in map iteration order.
+func EmitByHost(obs map[int]float64) {
+	for id, ipc := range obs { // want maporder
+		fmt.Printf("host-%03d %g\n", id, ipc)
+	}
+}
+
+// EmitSorted is the sanctioned shape: collect IDs, sort, then emit.
+func EmitSorted(obs map[int]float64) {
+	ids := make([]int, 0, len(obs))
+	for id := range obs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("host-%03d %g\n", id, obs[id])
+	}
+}

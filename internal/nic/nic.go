@@ -226,9 +226,9 @@ type Config struct {
 
 // Device is one physical NIC.
 type Device struct {
-	cfg   Config
-	eng   *ddio.Engine
-	port  *ddio.Port // optional per-device DDIO policy (Sec. VII extension)
+	cfg    Config
+	eng    *ddio.Engine
+	port   *ddio.Port // optional per-device DDIO policy (Sec. VII extension)
 	vfs    []*VF
 	txAcc  float64 // fractional byte budget carried between drain calls
 	faults FaultInjector

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines snapshots cut from independent registries — one per
+// fleet host — into a single rollup stamped at timeNS. Counters and
+// histogram buckets are summed; gauges are summed too (fleet gauges are
+// occupancy-style totals — divide by the host count for a mean). Metric
+// sets may be disjoint: the result is the union, with absent hosts
+// contributing zero. Events are not merged — per-host rings have no
+// meaningful global interleaving — so the result carries none; per-host
+// event streams stay in the per-host snapshots. Nil snapshots are
+// skipped. A histogram registered with different bucket bounds on
+// different hosts indicates divergent instrumentation and is an error,
+// as is a key that changes kind between snapshots.
+func Merge(timeNS float64, snaps ...*Snapshot) (*Snapshot, error) {
+	merged := map[Key]*Metric{}
+	keys := make([]Key, 0)
+	for i, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, m := range s.Metrics {
+			k := m.Key()
+			acc, ok := merged[k]
+			if !ok {
+				cp := m
+				if m.Hist != nil {
+					cp.Hist = &HistogramData{
+						Bounds: append([]float64(nil), m.Hist.Bounds...),
+						Counts: append([]uint64(nil), m.Hist.Counts...),
+						Count:  m.Hist.Count,
+						Sum:    m.Hist.Sum,
+					}
+				}
+				merged[k] = &cp
+				keys = append(keys, k)
+				continue
+			}
+			if acc.Kind != m.Kind {
+				return nil, fmt.Errorf("telemetry: merge %v: kind %v vs %v (snapshot %d)", k, acc.Kind, m.Kind, i)
+			}
+			switch m.Kind {
+			case KindCounter:
+				acc.Counter += m.Counter
+			case KindGauge:
+				acc.Gauge += m.Gauge
+			case KindHistogram:
+				if m.Hist == nil {
+					continue // zero-valued histogram contributes nothing
+				}
+				if acc.Hist == nil {
+					return nil, fmt.Errorf("telemetry: merge %v: histogram without bucket data", k)
+				}
+				if !equalBounds(acc.Hist.Bounds, m.Hist.Bounds) || len(acc.Hist.Counts) != len(m.Hist.Counts) {
+					return nil, fmt.Errorf("telemetry: merge %v: mismatched histogram bounds (snapshot %d)", k, i)
+				}
+				for j, c := range m.Hist.Counts {
+					acc.Hist.Counts[j] += c
+				}
+				acc.Hist.Count += m.Hist.Count
+				acc.Hist.Sum += m.Hist.Sum
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	out := &Snapshot{TimeNS: timeNS, Metrics: make([]Metric, 0, len(keys))}
+	for _, k := range keys {
+		out.Metrics = append(out.Metrics, *merged[k])
+	}
+	return out, nil
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

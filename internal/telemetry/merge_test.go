@@ -1,0 +1,123 @@
+package telemetry
+
+import "testing"
+
+func TestDiffDisjointMetricSets(t *testing.T) {
+	// Two snapshots with no keys in common: every row must carry a zero
+	// on its missing side, and the union must come out sorted.
+	ra := NewRegistry()
+	ra.Counter("cache", "", "hits").Add(5)
+	ra.Gauge("nic", "vf0", "occ").Set(3)
+	before := ra.Snapshot(1e9)
+
+	rb := NewRegistry()
+	rb.Counter("ddio", "", "drops").Add(2)
+	rb.Histogram("mem", "", "lat", []float64{10}).Observe(4)
+	after := rb.Snapshot(2e9)
+
+	ds := Diff(before, after)
+	want := []Delta{
+		{Key{"cache", "", "hits"}, KindCounter, 5, 0},
+		{Key{"ddio", "", "drops"}, KindCounter, 0, 2},
+		{Key{"mem", "", "lat"}, KindHistogram, 0, 1},
+		{Key{"nic", "vf0", "occ"}, KindGauge, 3, 0},
+	}
+	if len(ds) != len(want) {
+		t.Fatalf("diff has %d rows, want %d: %+v", len(ds), len(want), ds)
+	}
+	for i, w := range want {
+		if ds[i] != w {
+			t.Fatalf("diff[%d] = %+v, want %+v", i, ds[i], w)
+		}
+	}
+}
+
+func TestMergeSumsAcrossRegistries(t *testing.T) {
+	mk := func(hits uint64, occ float64, lat ...float64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("cache", "", "hits").Add(hits)
+		r.Gauge("nic", "vf0", "occ").Set(occ)
+		h := r.Histogram("mem", "", "lat", []float64{10, 100})
+		for _, v := range lat {
+			h.Observe(v)
+		}
+		r.Emit(Event{TimeNS: 1, Sev: SevInfo, Subsystem: "x", Name: "e"})
+		return r.Snapshot(5e9)
+	}
+	a := mk(3, 1.5, 5)
+	b := mk(4, 2.5, 50, 500)
+
+	m, err := Merge(7e9, a, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TimeNS != 7e9 {
+		t.Fatalf("TimeNS = %v", m.TimeNS)
+	}
+	if len(m.Events) != 0 || m.EventsDropped != 0 {
+		t.Fatalf("merged snapshot carries events: %+v", m.Events)
+	}
+	byKey := map[Key]Metric{}
+	for _, mm := range m.Metrics {
+		byKey[mm.Key()] = mm
+	}
+	if got := byKey[Key{"cache", "", "hits"}].Counter; got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := byKey[Key{"nic", "vf0", "occ"}].Gauge; got != 4 {
+		t.Fatalf("merged gauge = %v, want 4", got)
+	}
+	h := byKey[Key{"mem", "", "lat"}].Hist
+	if h == nil || h.Count != 3 || h.Sum != 555 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("merged buckets = %v", h.Counts)
+	}
+
+	// The merge must not alias the input snapshots.
+	h.Counts[0] = 99
+	if a.Metrics[0].Hist != nil && a.Metrics[0].Hist.Counts[0] == 99 {
+		t.Fatal("merge aliased input histogram")
+	}
+}
+
+func TestMergeDisjointSetsIsUnion(t *testing.T) {
+	ra := NewRegistry()
+	ra.Counter("cache", "", "hits").Add(5)
+	rb := NewRegistry()
+	rb.Counter("ddio", "", "drops").Add(2)
+
+	m, err := Merge(0, ra.Snapshot(0), rb.Snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Metrics) != 2 {
+		t.Fatalf("union has %d metrics, want 2", len(m.Metrics))
+	}
+	if m.Metrics[0].Key() != (Key{"cache", "", "hits"}) || m.Metrics[1].Key() != (Key{"ddio", "", "drops"}) {
+		t.Fatalf("union keys out of order: %+v", m.Metrics)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRejectsDivergentInstrumentation(t *testing.T) {
+	ra := NewRegistry()
+	ra.Histogram("mem", "", "lat", []float64{10}).Observe(1)
+	rb := NewRegistry()
+	rb.Histogram("mem", "", "lat", []float64{20}).Observe(1)
+	if _, err := Merge(0, ra.Snapshot(0), rb.Snapshot(0)); err == nil {
+		t.Fatal("mismatched histogram bounds accepted")
+	}
+
+	rc := NewRegistry()
+	rc.Counter("mem", "", "lat").Inc()
+	if _, err := Merge(0, ra.Snapshot(0), rc.Snapshot(0)); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
