@@ -7,7 +7,7 @@ GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: all build lint simlint vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke bench determinism scaling clean
+.PHONY: all build lint simlint lint-baseline vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke bench determinism scaling clean
 
 all: build lint test race telemetry-smoke chaos-smoke fleet-smoke
 
@@ -15,13 +15,20 @@ build:
 	$(GO) build ./...
 
 # lint enforces the determinism and hardware-model invariants (see
-# EXPERIMENTS.md "Determinism invariants and how they're enforced"):
-# simlint (detlint/maporder/msrlint), go vet, and a gofmt cleanliness
-# check. It must exit 0 at HEAD.
+# EXPERIMENTS.md "Static analysis: simlint"): simlint (detlint/maporder/
+# msrlint/seedflow/statelint/telemlint, interprocedural), go vet, and a
+# gofmt cleanliness check. It must exit 0 at HEAD.
 lint: simlint vet fmtcheck
 
 simlint: build
 	$(GO) run ./cmd/simlint
+
+# lint-baseline regenerates results/simlint-baseline.csv (deterministic:
+# rows are sorted, so the diff in a PR shows exactly the enforcement
+# drift). CI's lint job diffs against the committed file and fails only
+# on NEW findings.
+lint-baseline: build
+	$(GO) run ./cmd/simlint -baseline results/simlint-baseline.csv -write
 
 vet:
 	$(GO) vet ./...

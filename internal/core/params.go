@@ -189,6 +189,8 @@ type Options struct {
 }
 
 // State is the Mealy FSM state of Fig. 6.
+//
+//simlint:enum
 type State int
 
 // FSM states.

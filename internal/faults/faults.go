@@ -25,6 +25,8 @@ import (
 )
 
 // Kind enumerates the injectable fault classes.
+//
+//simlint:enum
 type Kind int
 
 // Fault kinds. The order is part of the profile-spec format (rates are

@@ -69,6 +69,7 @@ func (in *Injector) AttachTelemetry(s telemetry.Sink, clock func() float64) {
 	in.tel = s
 	in.clock = clock
 	for k := 0; k < NumKinds; k++ {
+		//simlint:ignore telemlint kindNames is a fixed array indexed by the closed Kind enum, so the schema stays compile-time closed
 		in.telCnt[k] = s.Counter("faults", "", kindNames[k])
 	}
 }

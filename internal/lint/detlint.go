@@ -6,7 +6,9 @@ import (
 )
 
 // DetLint forbids the three classic determinism leaks in simulation
-// packages (everything under internal/):
+// packages (everything under internal/), both directly and through any
+// chain of module-internal calls (the interprocedural pass flags a call
+// site whose closure reaches a violation, naming the chain):
 //
 //   - wall-clock reads (time.Now / time.Since) — simulated time comes
 //     from the platform clock; host time may only appear in the harness,
@@ -21,10 +23,14 @@ import (
 //     internal/harness may spawn goroutines (its worker pool reassembles
 //     results in submission order).
 var DetLint = &Analyzer{
-	Name: "detlint",
+	Name: detLintName,
 	Doc:  "forbid wall-clock time, global math/rand, and goroutines in simulation packages",
 	Run:  runDetLint,
 }
+
+// detLintName is referenced from the interprocedural core (summary.go);
+// a named constant keeps the Analyzer var out of its own init cycle.
+const detLintName = "detlint"
 
 // timeAllowedPkgs may read the wall clock: the harness owns per-job
 // wall-time, the progress line, and manifest timestamps, all documented
@@ -104,5 +110,47 @@ func runDetLint(p *Pass) {
 			}
 			return true
 		})
+	}
+	runDetLintChains(p)
+}
+
+// runDetLintChains is the interprocedural half: any call site in this
+// package whose callee's summarized closure reaches a wall-clock read,
+// a global-rand draw, or a goroutine spawn (from a non-allowlisted,
+// non-sanctioned origin) is flagged with the offending chain. Direct
+// violations in this package are the intra-procedural pass's job and are
+// not re-reported here.
+func runDetLintChains(p *Pass) {
+	if p.graph == nil {
+		return
+	}
+	for _, n := range p.graph.order {
+		if n.pkg != p.Pkg {
+			continue
+		}
+		for _, e := range n.edges {
+			for _, f := range p.graph.visibleFacts(e) {
+				var hint string
+				switch f.key.kind {
+				case FactWallClock:
+					if timeAllowedPkgs[p.Pkg.Path] {
+						continue
+					}
+					hint = "simulated time must come from the platform clock (p.NowNS)"
+				case FactGlobalRand:
+					hint = "use a seeded *rand.Rand threaded through the call"
+				case FactGoroutine:
+					if goAllowedPkgs[p.Pkg.Path] {
+						continue
+					}
+					hint = "parallelism belongs to the harness worker pool"
+				default:
+					continue // FactEmit is maporder's business
+				}
+				chain, fns := p.graph.chain(n, e, f.key)
+				p.reportChain(e.call.Pos(), fns,
+					"call closure reaches %s (%s); %s", f.desc, chain, hint)
+			}
+		}
 	}
 }

@@ -23,11 +23,12 @@ type Analyzer struct {
 
 // Analyzers returns the full simlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetLint, MapOrder, MSRLint}
+	return []*Analyzer{DetLint, MapOrder, MSRLint, SeedFlow, StateLint, TelemLint}
 }
 
-// MetaAnalyzer tags findings produced by the directive machinery itself
-// (malformed or unused //simlint:ignore comments).
+// MetaAnalyzer tags findings produced by the machinery itself: malformed
+// or unused //simlint:ignore comments, and files the parser could not
+// load (syntax errors are findings, not crashes).
 const MetaAnalyzer = "simlint"
 
 // Finding is one reported violation (or suppressed violation — baseline
@@ -41,10 +42,24 @@ type Finding struct {
 	// finding; Reason carries the directive's mandatory justification.
 	Suppressed bool
 	Reason     string
+
+	// chain holds, for interprocedural findings, the functions on the
+	// offending call chain (outermost first). A declaration-level
+	// directive on any of them suppresses the finding.
+	chain []*types.Func
 }
 
 // String renders the canonical "file:line: [analyzer] message" form.
+// Findings without a position (module-level conditions) or without a
+// line (directive machinery on synthesized positions) degrade gracefully
+// instead of printing ":0".
 func (f Finding) String() string {
+	switch {
+	case f.Pos.Filename == "":
+		return fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+	case f.Pos.Line == 0:
+		return fmt.Sprintf("%s: [%s] %s", f.Pos.Filename, f.Analyzer, f.Message)
+	}
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 }
 
@@ -55,6 +70,7 @@ type Pass struct {
 
 	analyzer *Analyzer
 	findings *[]Finding
+	graph    *Graph
 }
 
 // Reportf records a finding at pos.
@@ -64,6 +80,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 		Package:  p.Pkg.Path,
+	})
+}
+
+// reportChain records an interprocedural finding at pos whose message
+// carries the call chain; the chain's functions participate in
+// declaration-level suppression.
+func (p *Pass) reportChain(pos token.Pos, chain []*types.Func, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Package:  p.Pkg.Path,
+		chain:    chain,
 	})
 }
 
@@ -86,6 +115,15 @@ func (p *Pass) objectOf(id *ast.Ident) types.Object {
 		return nil
 	}
 	return p.Pkg.Info.ObjectOf(id)
+}
+
+// constValue reports whether e is a compile-time constant expression.
+func (p *Pass) constValue(e ast.Expr) bool {
+	if p.Pkg.Info == nil {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
 }
 
 // pkgImports maps the local name of each import of file to its path
@@ -116,29 +154,13 @@ func pkgImports(file *ast.File) map[string]string {
 // variable shadowing the import does not count); without it the check is
 // purely syntactic against the file's import table.
 func (p *Pass) selectorPackage(imports map[string]string, expr ast.Expr) (path, sel string, ok bool) {
-	s, isSel := expr.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	id, isIdent := s.X.(*ast.Ident)
-	if !isIdent {
-		return "", "", false
-	}
-	path, found := imports[id.Name]
-	if !found {
-		return "", "", false
-	}
-	if obj := p.objectOf(id); obj != nil {
-		if _, isPkg := obj.(*types.PkgName); !isPkg {
-			return "", "", false
-		}
-	}
-	return path, s.Sel.Name, true
+	return qualifiedSelector(p.Pkg, imports, expr)
 }
 
 // directive is one parsed //simlint:ignore comment.
 type directive struct {
 	pos      token.Position
+	pkg      string
 	analyzer string
 	reason   string
 	used     bool
@@ -146,9 +168,30 @@ type directive struct {
 
 const directiveName = "simlint:ignore"
 
+// directiveIndex holds every well-formed directive of the module, keyed
+// for line lookups.
+type directiveIndex struct {
+	all    []*directive
+	byFile map[string][]*directive
+}
+
+// covering returns the directives that cover a finding (or declaration)
+// at file:line: a directive suppresses its own line (trailing comment)
+// and the line directly below (comment above the statement).
+func (ix *directiveIndex) covering(file string, line int) []*directive {
+	var out []*directive
+	for _, d := range ix.byFile[file] {
+		if d.pos.Line == line || d.pos.Line == line-1 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // collectDirectives parses every //simlint:ignore comment in the package.
-// Malformed directives (unknown analyzer, missing reason) are reported as
-// findings of the meta analyzer.
+// Malformed directives (unknown analyzer — including analyzers from a
+// newer simlint than this build — or missing reason) are reported as
+// findings of the meta analyzer rather than silently dropped.
 func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool, findings *[]Finding) []*directive {
 	var dirs []*directive
 	for _, file := range pkg.Files {
@@ -166,10 +209,14 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool,
 				pos := fset.Position(c.Pos())
 				fields := strings.Fields(rest)
 				if len(fields) == 0 || !known[fields[0]] {
+					name := "(none)"
+					if len(fields) > 0 {
+						name = fields[0]
+					}
 					*findings = append(*findings, Finding{
 						Pos: pos, Analyzer: MetaAnalyzer, Package: pkg.Path,
-						Message: fmt.Sprintf("malformed directive: want //%s <analyzer> <reason> with analyzer in %s",
-							directiveName, knownList(known)),
+						Message: fmt.Sprintf("directive names unknown analyzer %s: want //%s <analyzer> <reason> with analyzer in %s",
+							name, directiveName, knownList(known)),
 					})
 					continue
 				}
@@ -182,7 +229,7 @@ func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool,
 					})
 					continue
 				}
-				dirs = append(dirs, &directive{pos: pos, analyzer: fields[0], reason: reason})
+				dirs = append(dirs, &directive{pos: pos, pkg: pkg.Path, analyzer: fields[0], reason: reason})
 			}
 		}
 	}
@@ -198,48 +245,105 @@ func knownList(known map[string]bool) string {
 	return strings.Join(names, "|")
 }
 
-// RunAnalyzers runs the suite over every package of m and returns all
-// findings (suppressed ones included, marked), sorted by position. A
-// directive suppresses findings of its analyzer on its own line or the
-// line directly below (trailing comment, or a comment line above the
-// statement). Unused directives are findings: a suppression that no
-// longer masks anything must be deleted, so enforcement cannot silently
-// drift.
-func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
-	known := map[string]bool{}
+// Suite runs analyzers over a loaded module with shared interprocedural
+// state: the directive index is collected once up front (so summaries
+// respect sanctioned origins) and the call graph is built before the
+// first analyzer runs. Callers that want per-analyzer timing drive Run
+// themselves; RunAnalyzers wraps the whole lifecycle.
+type Suite struct {
+	mod      *Module
+	known    map[string]bool
+	findings []Finding
+	dirs     *directiveIndex
+	graph    *Graph
+	finished bool
+}
+
+// NewSuite collects directives, reports malformed ones, and builds the
+// module call graph with summaries.
+func NewSuite(m *Module, analyzers []*Analyzer) *Suite {
+	s := &Suite{mod: m, known: map[string]bool{}}
 	for _, a := range analyzers {
-		known[a.Name] = true
+		s.known[a.Name] = true
 	}
-	var findings []Finding
+	s.dirs = &directiveIndex{byFile: map[string][]*directive{}}
 	for _, pkg := range m.Pkgs {
-		var pkgFindings []Finding
-		for _, a := range analyzers {
-			pass := &Pass{Fset: m.Fset, Pkg: pkg, analyzer: a, findings: &pkgFindings}
-			a.Run(pass)
+		for _, d := range collectDirectives(m.Fset, pkg, s.known, &s.findings) {
+			s.dirs.all = append(s.dirs.all, d)
+			s.dirs.byFile[d.pos.Filename] = append(s.dirs.byFile[d.pos.Filename], d)
 		}
-		dirs := collectDirectives(m.Fset, pkg, known, &pkgFindings)
-		for i := range pkgFindings {
-			f := &pkgFindings[i]
-			for _, d := range dirs {
-				if d.analyzer == f.Analyzer && d.pos.Filename == f.Pos.Filename &&
-					(d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1) {
-					f.Suppressed, f.Reason = true, d.reason
-					d.used = true
-				}
-			}
-		}
-		for _, d := range dirs {
-			if !d.used {
-				pkgFindings = append(pkgFindings, Finding{
-					Pos: d.pos, Analyzer: MetaAnalyzer, Package: pkg.Path,
-					Message: fmt.Sprintf("unused suppression: no %s finding on this or the next line; delete the directive", d.analyzer),
-				})
-			}
-		}
-		findings = append(findings, pkgFindings...)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	s.graph = buildGraph(m, s.dirs)
+	return s
+}
+
+// Run executes one analyzer over every package of the module.
+func (s *Suite) Run(a *Analyzer) {
+	for _, pkg := range s.mod.Pkgs {
+		pass := &Pass{Fset: s.mod.Fset, Pkg: pkg, analyzer: a, findings: &s.findings, graph: s.graph}
+		a.Run(pass)
+	}
+}
+
+// Finish applies suppression and returns all findings (suppressed ones
+// included, marked), sorted by position. Line-level directives suppress
+// findings on their own line or the line directly below; declaration-
+// level directives additionally suppress interprocedural findings whose
+// chain passes through the annotated function. Unused directives are
+// findings: a suppression that no longer masks anything must be deleted,
+// so enforcement cannot silently drift. Parse failures recorded by the
+// loader are surfaced as meta findings.
+func (s *Suite) Finish() []Finding {
+	if s.finished {
+		return s.findings
+	}
+	s.finished = true
+
+	for _, pe := range s.mod.ParseErrors {
+		s.findings = append(s.findings, Finding{
+			Pos: pe.Pos, Analyzer: MetaAnalyzer, Package: pe.Package,
+			Message: "syntax error: " + pe.Msg,
+		})
+	}
+
+	for i := range s.findings {
+		f := &s.findings[i]
+		if f.Analyzer == MetaAnalyzer {
+			continue
+		}
+		for _, d := range s.dirs.covering(f.Pos.Filename, f.Pos.Line) {
+			if d.analyzer == f.Analyzer {
+				f.Suppressed, f.Reason = true, d.reason
+				d.used = true
+			}
+		}
+		if f.Suppressed || len(f.chain) == 0 {
+			continue
+		}
+		for _, fn := range f.chain {
+			node := s.graph.nodeFor(fn)
+			if node == nil {
+				continue
+			}
+			if d := node.declIgnore[f.Analyzer]; d != nil {
+				f.Suppressed, f.Reason = true, d.reason
+				d.used = true
+				break
+			}
+		}
+	}
+
+	for _, d := range s.dirs.all {
+		if !d.used {
+			s.findings = append(s.findings, Finding{
+				Pos: d.pos, Analyzer: MetaAnalyzer, Package: d.pkg,
+				Message: fmt.Sprintf("unused suppression: no %s finding on this or the next line (or reachable call chain for a declaration directive); delete the directive", d.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(s.findings, func(i, j int) bool {
+		a, b := s.findings[i], s.findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -249,7 +353,20 @@ func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
+	return s.findings
+}
+
+// RunAnalyzers runs the suite over every package of m and returns all
+// findings (suppressed ones included, marked), sorted by position.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+	s := NewSuite(m, analyzers)
+	for _, a := range analyzers {
+		s.Run(a)
+	}
+	return s.Finish()
 }

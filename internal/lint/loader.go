@@ -3,12 +3,25 @@
 // rests on — byte-identical output at any -jobs value on the simulated
 // Xeon platform — as analyzers that run over every package in the module:
 //
-//   - detlint:  no wall-clock time, no global math/rand, no goroutines in
-//     simulation packages (internal/...), outside an explicit allowlist.
-//   - maporder: no map iteration feeding an output-bearing sink (CSV rows,
-//     printed lines, escaping appends, fields) without sorting first.
-//   - msrlint:  no raw architectural MSR addresses outside internal/msr;
+//   - detlint:   no wall-clock time, no global math/rand, no goroutines in
+//     simulation packages (internal/...), outside an explicit allowlist —
+//     enforced interprocedurally: a sim-package function whose call
+//     closure reaches a violation is flagged with the offending chain
+//     (sim.Step -> helper -> time.Now).
+//   - maporder:  no map iteration feeding an output-bearing sink (CSV
+//     rows, printed lines, escaping appends, fields) without sorting
+//     first — including sinks a call away (a helper whose closure emits).
+//   - msrlint:   no raw architectural MSR addresses outside internal/msr;
 //     register traffic flows through the typed msr.File / internal/rdt API.
+//   - seedflow:  RNG streams in internal/ derive from a seed parameter or
+//     id-derived offset — never a constant seed or a package-level shared
+//     stream (the fleet per-host seeding contract).
+//   - statelint: switches over //simlint:enum-marked FSM types (the
+//     daemon's core.State, the fault injector's faults.Kind) must be
+//     exhaustive or carry an explicit default.
+//   - telemlint: telemetry handles come from the Registry, never literal
+//     construction, and registry metric names are compile-time constants
+//     (the golden-snapshot schema stays closed).
 //
 // The suite is deliberately stdlib-only (go/parser, go/ast, go/types, and
 // the GOROOT source importer) so it builds and runs offline with no module
@@ -20,7 +33,9 @@
 //	//simlint:ignore <analyzer> <reason>
 //
 // The reason is mandatory, and unused suppressions are themselves findings,
-// so stale annotations cannot accumulate.
+// so stale annotations cannot accumulate. A directive on a function
+// declaration additionally suppresses interprocedural findings whose call
+// chain passes through that function.
 package lint
 
 import (
@@ -28,6 +43,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -62,6 +78,17 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs is sorted by import path.
 	Pkgs []*Package
+	// ParseErrors records files the parser rejected. The files are
+	// excluded from analysis; the errors surface as meta findings (a
+	// broken tree must fail lint loudly, not crash it or hide packages).
+	ParseErrors []ParseError
+}
+
+// ParseError is one syntax error the loader tolerated.
+type ParseError struct {
+	Pos     token.Position
+	Msg     string
+	Package string
 }
 
 // sharedFset is the process-wide FileSet. The GOROOT source importer
@@ -132,44 +159,32 @@ func LoadModule(dir string) (*Module, error) {
 	fset, std := stdImporter()
 	m := &Module{Path: path, Dir: root, Fset: fset}
 
-	var pkgDirs []string
-	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if p != root && (name == "testdata" || name == "vendor" ||
-			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-			return filepath.SkipDir
-		}
-		pkgDirs = append(pkgDirs, p)
-		return nil
-	})
+	pkgDirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(pkgDirs)
 
 	for _, d := range pkgDirs {
-		pkg, err := parseDir(fset, d)
-		if err != nil {
-			return nil, err
-		}
-		if pkg == nil {
-			continue // no non-test Go files
-		}
 		rel, err := filepath.Rel(root, d)
 		if err != nil {
 			return nil, err
 		}
-		if rel == "." {
-			pkg.Path = path
-		} else {
-			pkg.Path = path + "/" + filepath.ToSlash(rel)
+		importPath := path
+		if rel != "." {
+			importPath = path + "/" + filepath.ToSlash(rel)
 		}
+		pkg, perrs, err := parseDir(fset, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, pe := range perrs {
+			pe.Package = importPath
+			m.ParseErrors = append(m.ParseErrors, pe)
+		}
+		if pkg == nil {
+			continue // no (parseable) non-test Go files
+		}
+		pkg.Path = importPath
 		m.Pkgs = append(m.Pkgs, pkg)
 	}
 
@@ -191,15 +206,23 @@ func LoadModule(dir string) (*Module, error) {
 // analyzers' package-scope rules) freely.
 func LoadDir(dir, importPath string) (*Module, error) {
 	fset, std := stdImporter()
-	pkg, err := parseDir(fset, dir)
+	pkg, perrs, err := parseDir(fset, dir)
 	if err != nil {
 		return nil, err
 	}
+	m := &Module{Path: strings.SplitN(importPath, "/", 2)[0], Dir: dir, Fset: fset}
+	for _, pe := range perrs {
+		pe.Package = importPath
+		m.ParseErrors = append(m.ParseErrors, pe)
+	}
 	if pkg == nil {
+		if len(perrs) > 0 {
+			return m, nil // every file broken: the findings carry the story
+		}
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	pkg.Path = importPath
-	m := &Module{Path: strings.SplitN(importPath, "/", 2)[0], Dir: dir, Fset: fset, Pkgs: []*Package{pkg}}
+	m.Pkgs = []*Package{pkg}
 	ld := &loader{mod: m, std: std, byPath: map[string]*Package{importPath: pkg}, state: map[string]int{}}
 	if err := ld.ensure(pkg); err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
@@ -207,31 +230,90 @@ func LoadDir(dir, importPath string) (*Module, error) {
 	return m, nil
 }
 
-// parseDir parses the non-test Go files of one directory; nil if none.
-func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+// packageDirs walks root and returns every directory that may hold a
+// package, excluding testdata/vendor/hidden trees. LoadModule and the
+// fixture test helpers share this walk so their notion of "the module's
+// packages" cannot drift apart.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// goSourceFiles lists the non-test Go files of one directory in sorted
+// order — the single definition of which files the linter reads, shared
+// by the loader and the fixture test helpers.
+func goSourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{Dir: dir}
+	var files []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		full := filepath.Join(dir, name)
+		files = append(files, filepath.Join(dir, name))
+	}
+	return files, nil
+}
+
+// parseDir parses the non-test Go files of one directory; nil if none
+// parse. Files with syntax errors are reported in the ParseError slice
+// and excluded (the remaining files still type-check best-effort).
+func parseDir(fset *token.FileSet, dir string) (*Package, []ParseError, error) {
+	files, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg := &Package{Dir: dir}
+	var perrs []ParseError
+	for _, full := range files {
 		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			perrs = append(perrs, parseErrors(fset, full, err)...)
+			continue
 		}
 		pkg.Files = append(pkg.Files, f)
 		pkg.Filenames = append(pkg.Filenames, full)
 	}
 	if len(pkg.Files) == 0 {
-		return nil, nil
+		return nil, perrs, nil
 	}
-	return pkg, nil
+	return pkg, perrs, nil
+}
+
+// parseErrors flattens a parser error (usually a scanner.ErrorList) into
+// positioned ParseErrors.
+func parseErrors(fset *token.FileSet, file string, err error) []ParseError {
+	if list, ok := err.(scanner.ErrorList); ok {
+		out := make([]ParseError, 0, len(list))
+		for _, e := range list {
+			out = append(out, ParseError{Pos: e.Pos, Msg: e.Msg})
+		}
+		return out
+	}
+	return []ParseError{{Pos: token.Position{Filename: file}, Msg: err.Error()}}
 }
 
 // loader type-checks module packages in dependency order, resolving

@@ -28,10 +28,14 @@ import (
 // slices.* call in the same function. Anything else needs sorted keys
 // first, or a //simlint:ignore maporder <reason> annotation.
 var MapOrder = &Analyzer{
-	Name: "maporder",
+	Name: mapOrderName,
 	Doc:  "flag map iteration feeding output sinks (CSV rows, prints, escaping appends) without sorting",
 	Run:  runMapOrder,
 }
+
+// mapOrderName is referenced from the interprocedural core (summary.go);
+// a named constant keeps the Analyzer var out of its own init cycle.
+const mapOrderName = "maporder"
 
 // writerMethods are method names that emit ordered output.
 var writerMethods = map[string]bool{
@@ -100,15 +104,22 @@ func (p *Pass) checkMapRange(imports map[string]string, rs *ast.RangeStmt, fn as
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
 		return
 	}
-	if sink := p.findSink(imports, rs, fn); sink != "" {
-		p.Reportf(rs.Pos(), "map iterated in nondeterministic order %s; sort the keys first", sink)
+	if sink, chain := p.findSink(imports, rs, fn); sink != "" {
+		if len(chain) > 0 {
+			p.reportChain(rs.Pos(), chain, "map iterated in nondeterministic order %s; sort the keys first", sink)
+		} else {
+			p.Reportf(rs.Pos(), "map iterated in nondeterministic order %s; sort the keys first", sink)
+		}
 	}
 }
 
 // findSink scans the loop body for the first output-bearing sink and
-// describes it ("" when none).
-func (p *Pass) findSink(imports map[string]string, rs *ast.RangeStmt, fn ast.Node) string {
+// describes it ("" when none). Sinks may be a call away: a call to a
+// module function whose summarized closure emits output counts, with the
+// emission chain returned for declaration-level suppression.
+func (p *Pass) findSink(imports map[string]string, rs *ast.RangeStmt, fn ast.Node) (string, []*types.Func) {
 	var sink string
+	var chain []*types.Func
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		if sink != "" {
 			return false
@@ -118,18 +129,26 @@ func (p *Pass) findSink(imports map[string]string, rs *ast.RangeStmt, fn ast.Nod
 			if path, sel, ok := p.selectorPackage(imports, n.Fun); ok {
 				if path == "fmt" && fmtPrinters[sel] {
 					sink = "into fmt." + sel
+					return true
 				}
+			} else if s, ok := n.Fun.(*ast.SelectorExpr); ok && writerMethods[s.Sel.Name] {
+				sink = "into a ." + s.Sel.Name + " call"
 				return true
 			}
-			if s, ok := n.Fun.(*ast.SelectorExpr); ok && writerMethods[s.Sel.Name] {
-				sink = "into a ." + s.Sel.Name + " call"
+			// Interprocedural: the loop body calls a module function
+			// whose call closure emits output.
+			if node := p.graph.nodeFor(calleeFunc(p.Pkg, n)); node != nil {
+				if f := p.graph.emitFact(node); f != nil {
+					desc, fns := p.graph.chainFrom(node, f.key)
+					sink, chain = "into a call whose closure emits output ("+desc+")", fns
+				}
 			}
 		case *ast.AssignStmt:
 			sink = p.assignSink(rs, fn, n)
 		}
 		return true
 	})
-	return sink
+	return sink, chain
 }
 
 // assignSink classifies an assignment inside the loop body.

@@ -1,0 +1,486 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural core of simlint v2: a whole-module
+// call graph whose nodes carry "determinism summaries" — the facts about
+// a function's call closure that the analyzers enforce. Summaries are
+// computed bottom-up to a fixed point, so a wall-clock read laundered
+// through any number of helper calls still reaches the sim-package
+// function that ultimately depends on it, and the finding can name the
+// whole chain (sim.Step -> helper -> time.Now).
+//
+// The graph is deliberately conservative in the sound direction for
+// static call edges only: calls through function values, interfaces, or
+// reflection are not edges (the single-threaded simulation style keeps
+// those rare), and facts never propagate out of a function whose origin
+// package is allowlisted for that fact kind or whose declaration carries
+// a //simlint:ignore directive for the reporting analyzer.
+
+// FactKind classifies one determinism-relevant behaviour of a function's
+// call closure.
+type FactKind int
+
+const (
+	// FactWallClock: the closure reads the host wall clock
+	// (time.Now/Since/Until).
+	FactWallClock FactKind = iota
+	// FactGlobalRand: the closure draws from the process-global
+	// math/rand or math/rand/v2 source.
+	FactGlobalRand
+	// FactGoroutine: the closure spawns a goroutine.
+	FactGoroutine
+	// FactEmit: the closure writes ordered output (fmt printing or a
+	// writer-shaped method call) — map iteration feeding such a call is
+	// order-sensitive even though the emission is a call away.
+	FactEmit
+)
+
+// analyzerFor maps a fact kind to the analyzer that reports it; directive
+// matching (line- and declaration-level) keys off this name.
+func (k FactKind) analyzerFor() string {
+	if k == FactEmit {
+		return mapOrderName
+	}
+	return detLintName
+}
+
+// factKey identifies one propagated fact: the kind plus the source
+// position of the originating violation. Two paths from a function to the
+// same origin collapse into one fact; distinct origins stay distinct.
+type factKey struct {
+	kind   FactKind
+	origin token.Pos
+}
+
+// fact is one summary entry. via records the witness: nil means the
+// origin is in this function's own body; otherwise the fact arrived
+// through that call edge and the chain continues at the callee.
+type fact struct {
+	key  factKey
+	desc string // leaf description, e.g. "time.Now" or "fmt.Println"
+	via  *edge
+}
+
+// edge is one static call site from a graph function to another
+// module function.
+type edge struct {
+	call   *ast.CallExpr
+	callee *types.Func
+}
+
+// funcNode is one module function (or method) in the graph.
+type funcNode struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	edges []*edge
+	// facts is the function's summary; factOrder keeps deterministic
+	// iteration order (sorted on demand).
+	facts map[factKey]*fact
+	// declIgnore maps analyzer name -> the //simlint:ignore directive
+	// sitting on this function's declaration; matching facts do not
+	// propagate to callers.
+	declIgnore map[string]*directive
+}
+
+// enumInfo is one //simlint:enum-marked type and its member constants.
+type enumInfo struct {
+	obj     *types.TypeName
+	members []*types.Const // sorted by constant value, then name
+}
+
+// callerRef records one call site into a function, for reverse lookups
+// (telemlint's constant-name wrapper rule).
+type callerRef struct {
+	node *funcNode
+	call *ast.CallExpr
+}
+
+// Graph is the module-wide call graph with computed summaries.
+type Graph struct {
+	mod     *Module
+	nodes   map[*types.Func]*funcNode
+	order   []*funcNode
+	callers map[*types.Func][]callerRef
+	enums   map[*types.TypeName]*enumInfo
+	// telemWrappers is telemlint's forwarded-name index, built lazily by
+	// buildTelemWrappers on first use.
+	telemWrappers map[*types.Func][]telemWrapper
+}
+
+// nodeFor returns the graph node for fn, or nil when fn is not a module
+// function with a body.
+func (g *Graph) nodeFor(fn *types.Func) *funcNode {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// buildGraph indexes every function declaration in the module, records
+// static call edges and direct facts (consulting directives so sanctioned
+// origins never enter a summary), then propagates summaries to a fixed
+// point.
+func buildGraph(m *Module, dirs *directiveIndex) *Graph {
+	g := &Graph{
+		mod:     m,
+		nodes:   map[*types.Func]*funcNode{},
+		callers: map[*types.Func][]callerRef{},
+		enums:   map[*types.TypeName]*enumInfo{},
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			g.collectEnums(pkg, file)
+			imports := pkgImports(file)
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &funcNode{
+					fn: obj, decl: fd, pkg: pkg,
+					facts:      map[factKey]*fact{},
+					declIgnore: map[string]*directive{},
+				}
+				declPos := m.Fset.Position(fd.Pos())
+				for _, dir := range dirs.covering(declPos.Filename, declPos.Line) {
+					n.declIgnore[dir.analyzer] = dir
+				}
+				g.scanBody(n, imports, dirs)
+				g.nodes[obj] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	for _, n := range g.order {
+		for _, e := range n.edges {
+			if g.nodes[e.callee] != nil {
+				g.callers[e.callee] = append(g.callers[e.callee], callerRef{node: n, call: e.call})
+			}
+		}
+	}
+	g.propagate()
+	return g
+}
+
+// scanBody records n's call edges and direct facts. A direct fact whose
+// line carries a matching //simlint:ignore is sanctioned at the source
+// and never enters the summary (the directive is marked used: it is doing
+// interprocedural work even when the intra-procedural finding it also
+// covers is what keeps it visibly busy).
+func (g *Graph) scanBody(n *funcNode, imports map[string]string, dirs *directiveIndex) {
+	pkg := n.pkg
+	addFact := func(pos token.Pos, kind FactKind, desc string) {
+		p := g.mod.Fset.Position(pos)
+		for _, d := range dirs.covering(p.Filename, p.Line) {
+			if d.analyzer == kind.analyzerFor() {
+				d.used = true
+				return
+			}
+		}
+		k := factKey{kind: kind, origin: pos}
+		if n.facts[k] == nil {
+			n.facts[k] = &fact{key: k, desc: desc}
+		}
+	}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			if !goAllowedPkgs[pkg.Path] {
+				addFact(node.Pos(), FactGoroutine, "go statement")
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(pkg, node); callee != nil {
+				n.edges = append(n.edges, &edge{call: node, callee: callee})
+			}
+			if path, sel, ok := qualifiedSelector(pkg, imports, node.Fun); ok {
+				if path == "fmt" && fmtPrinters[sel] {
+					addFact(node.Pos(), FactEmit, "fmt."+sel)
+				}
+			} else if s, ok := node.Fun.(*ast.SelectorExpr); ok && writerMethods[s.Sel.Name] {
+				// Writer-shaped emission is a direct fact wherever it
+				// happens (telemetry .Emit carries sequence numbers, so
+				// emission order is output order even through a ring).
+				addFact(node.Pos(), FactEmit, "."+s.Sel.Name+" call")
+			}
+		case *ast.SelectorExpr:
+			path, sel, ok := qualifiedSelector(pkg, imports, node)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && wallClockFuncs[sel] && !timeAllowedPkgs[pkg.Path]:
+				addFact(node.Pos(), FactWallClock, "time."+sel)
+			case path == "math/rand" && globalRandFuncs[sel]:
+				addFact(node.Pos(), FactGlobalRand, "rand."+sel)
+			case path == "math/rand/v2" && globalRandV2Funcs[sel]:
+				addFact(node.Pos(), FactGlobalRand, "rand/v2."+sel)
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, function values,
+// conversions, and unresolved expressions.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	if pkg.Info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// visibleFacts returns the callee-summary facts that propagate across
+// edge e into a caller, in deterministic order. A fact is blocked when
+// the callee's package is allowlisted for the fact's kind (the harness
+// may own wall clocks and goroutines outright) or the callee's
+// declaration carries a matching //simlint:ignore (marked used: the
+// directive is actively suppressing the chain).
+func (g *Graph) visibleFacts(e *edge) []*fact {
+	callee := g.nodes[e.callee]
+	if callee == nil {
+		return nil
+	}
+	var out []*fact
+	for _, f := range callee.sortedFacts() {
+		switch f.key.kind {
+		case FactWallClock:
+			if timeAllowedPkgs[callee.pkg.Path] {
+				continue
+			}
+		case FactGoroutine:
+			if goAllowedPkgs[callee.pkg.Path] {
+				continue
+			}
+		}
+		if d := callee.declIgnore[f.key.kind.analyzerFor()]; d != nil {
+			d.used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// propagate computes summaries bottom-up to a fixed point. Facts are
+// added with a witness edge pointing at the callee whose (already
+// recorded) entry continues the chain, so chain reconstruction is
+// acyclic by construction even through recursive call cycles.
+func (g *Graph) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.order {
+			for _, e := range n.edges {
+				for _, f := range g.visibleFacts(e) {
+					if n.facts[f.key] == nil {
+						n.facts[f.key] = &fact{key: f.key, desc: f.desc, via: e}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// sortedFacts returns the node's facts ordered by kind then origin.
+func (n *funcNode) sortedFacts() []*fact {
+	out := make([]*fact, 0, len(n.facts))
+	for _, f := range n.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.kind != out[j].key.kind {
+			return out[i].key.kind < out[j].key.kind
+		}
+		return out[i].key.origin < out[j].key.origin
+	})
+	return out
+}
+
+// chain renders the offending call chain for a fact reached from node n
+// via edge e: "sim.Step -> util.Elapsed -> time.Now". The walk follows
+// witness edges, which always point at strictly older summary entries,
+// so it terminates even on cyclic call graphs.
+func (g *Graph) chain(n *funcNode, e *edge, key factKey) (string, []*types.Func) {
+	callee := g.nodes[e.callee]
+	if callee == nil {
+		return funcDisplayName(n.fn), []*types.Func{n.fn}
+	}
+	tail, fns := g.chainFrom(callee, key)
+	return funcDisplayName(n.fn) + " -> " + tail, append([]*types.Func{n.fn}, fns...)
+}
+
+// chainFrom renders the chain starting at n itself down to the fact's
+// origin description.
+func (g *Graph) chainFrom(n *funcNode, key factKey) (string, []*types.Func) {
+	names := []string{funcDisplayName(n.fn)}
+	fns := []*types.Func{n.fn}
+	f := n.facts[key]
+	for f != nil {
+		if f.via == nil {
+			names = append(names, f.desc)
+			break
+		}
+		callee := g.nodes[f.via.callee]
+		if callee == nil {
+			break
+		}
+		names = append(names, funcDisplayName(callee.fn))
+		fns = append(fns, callee.fn)
+		f = callee.facts[key]
+	}
+	return strings.Join(names, " -> "), fns
+}
+
+// emitFact returns the first output-emission fact of n's summary, or nil
+// — also nil (marking the directive used) when n's declaration carries a
+// maporder suppression, so a sanctioned emitter does not taint its
+// callers' map loops.
+func (g *Graph) emitFact(n *funcNode) *fact {
+	if d := n.declIgnore[mapOrderName]; d != nil {
+		for _, f := range n.sortedFacts() {
+			if f.key.kind == FactEmit {
+				d.used = true
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, f := range n.sortedFacts() {
+		if f.key.kind == FactEmit {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders a function as pkg.Name or pkg.(Recv).Method.
+func funcDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// collectEnums records //simlint:enum-marked integer types declared in
+// file, together with every package-level constant of exactly that type.
+// statelint enforces switch exhaustiveness over these.
+func (g *Graph) collectEnums(pkg *Package, file *ast.File) {
+	if pkg.Info == nil || pkg.Types == nil {
+		return
+	}
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !hasEnumMarker(gd.Doc) && !hasEnumMarker(ts.Doc) && !hasEnumMarker(ts.Comment) {
+				continue
+			}
+			tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if tn == nil {
+				continue
+			}
+			info := &enumInfo{obj: tn}
+			scope := pkg.Types.Scope()
+			names := scope.Names() // sorted
+			for _, name := range names {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if ok && types.Identical(c.Type(), tn.Type()) {
+					info.members = append(info.members, c)
+				}
+			}
+			sort.SliceStable(info.members, func(i, j int) bool {
+				vi, vj := info.members[i].Val().String(), info.members[j].Val().String()
+				if len(vi) != len(vj) { // numeric order for decimal ints
+					return len(vi) < len(vj)
+				}
+				return vi < vj
+			})
+			g.enums[tn] = info
+		}
+	}
+}
+
+// enumMarker is the declaration comment that opts a type into statelint's
+// switch-exhaustiveness enforcement.
+const enumMarker = "simlint:enum"
+
+func hasEnumMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(text) == enumMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedSelector is selectorPackage without a Pass: it reports the
+// imported package path and selector name when expr is a qualified
+// identifier like time.Now, requiring (when type information exists) that
+// the base identifier resolve to a package name.
+func qualifiedSelector(pkg *Package, imports map[string]string, expr ast.Expr) (path, sel string, ok bool) {
+	s, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := s.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	path, found := imports[id.Name]
+	if !found {
+		return "", "", false
+	}
+	if pkg.Info != nil {
+		if obj := pkg.Info.ObjectOf(id); obj != nil {
+			if _, isPkg := obj.(*types.PkgName); !isPkg {
+				return "", "", false
+			}
+		}
+	}
+	return path, s.Sel.Name, true
+}

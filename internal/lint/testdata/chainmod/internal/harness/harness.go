@@ -1,0 +1,17 @@
+// Package harness mirrors the real harness's allowlisted role: it may
+// read the wall clock and spawn goroutines, and neither fact may leak
+// into its callers' summaries.
+package harness
+
+import "time"
+
+// WallTime is the sanctioned wall-clock read (outside the determinism
+// guarantee, like the real harness's per-job timing).
+func WallTime() int64 {
+	return time.Now().UnixNano()
+}
+
+// Spawn is the sanctioned concurrency site.
+func Spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,100 @@
+// Package sim is the fixture's simulation layer: it commits no direct
+// violation — every finding here must be produced by interprocedural
+// propagation (or proven absent by allowlisting and suppression).
+package sim
+
+import (
+	"sort"
+
+	"iatsim/internal/harness"
+	"iatsim/internal/util"
+)
+
+// Step reaches the wall clock one package away.
+func Step() int64 {
+	return util.Elapsed() // want detlint
+}
+
+// Tick reaches it through a same-package hop first.
+func Tick() int64 {
+	return localNow() // want detlint
+}
+
+func localNow() int64 {
+	return util.Elapsed() // want detlint
+}
+
+// Roll reaches the global rand stream one package away.
+func Roll() int {
+	return util.Draw() // want detlint
+}
+
+// Par reaches a goroutine spawn through a same-package helper.
+func Par() {
+	spawn() // want detlint
+}
+
+func spawn() {
+	go func() {}() // want detlint
+}
+
+// Dump iterates a map into an emitting helper: the sink is a call away.
+func Dump(m map[string]int) {
+	for k, v := range m { // want maporder
+		util.EmitRow(k, v)
+	}
+}
+
+// DumpSorted is the sanctioned collect-then-sort shape feeding the same
+// helper.
+func DumpSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		util.EmitRow(k, m[k])
+	}
+}
+
+// UseHarness calls an allowlisted package: the harness owns wall time, so
+// the chain is not a finding.
+func UseHarness() int64 {
+	return harness.WallTime() // ok: allowlisted chain
+}
+
+// RunParallel delegates concurrency to the harness: also not a finding.
+func RunParallel(f func()) {
+	harness.Spawn(f) // ok: allowlisted chain
+}
+
+// UseBlessed calls the declaration-suppressed wrapper: the chain is cut
+// at the directive.
+func UseBlessed() int64 {
+	return util.BlessedNow() // ok: decl-level directive on the callee
+}
+
+// UseSanctioned calls the helper whose origin is line-suppressed: no fact
+// exists to propagate.
+func UseSanctioned() int64 {
+	return util.SanctionedNow() // ok: sanctioned origin
+}
+
+// Overhead measures wall time around a step: the declaration-level
+// directive on the caller itself sanctions every chain leaving this body
+// (the Fig. 15 overhead-measurement pattern).
+//
+//simlint:ignore detlint fixture: caller-side declaration suppression covers its chains
+func Overhead() int64 {
+	return util.Elapsed() // ok: own declaration carries the directive
+}
+
+// Describe switches non-exhaustively over a cross-package enum.
+func Describe(m util.Mode) string {
+	switch m { // want statelint
+	case util.ModeRaw:
+		return "raw"
+	}
+	return ""
+}

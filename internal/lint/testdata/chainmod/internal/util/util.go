@@ -1,0 +1,55 @@
+// Package util holds the helpers whose violations the interprocedural
+// pass must carry into internal/sim: direct wall-clock and global-rand
+// leaks, an emitting helper, a declaration-suppressed wrapper, and a
+// sanctioned origin that must never enter a summary.
+package util
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Mode selects the fixture's emission mode (a cross-package enum for
+// statelint).
+//
+//simlint:enum
+type Mode int
+
+// Modes.
+const (
+	ModeRaw Mode = iota
+	ModeCooked
+)
+
+// Elapsed leaks the wall clock; callers inherit the fact.
+func Elapsed() int64 {
+	return time.Now().UnixNano() // want detlint
+}
+
+// Draw leaks the global rand stream; callers inherit the fact.
+func Draw() int {
+	return rand.Intn(6) // want detlint
+}
+
+// EmitRow emits ordered output; map loops calling it are order-sensitive.
+func EmitRow(k string, v int) {
+	fmt.Printf("%s,%d\n", k, v)
+}
+
+// BlessedNow reads the wall clock, and the declaration-level directive
+// keeps the fact from propagating to callers — but the direct finding
+// inside the body stays live.
+//
+//simlint:ignore detlint fixture: declaration-level suppression blocks the chain, not the origin
+func BlessedNow() int64 {
+	return time.Now().UnixNano() // want detlint
+}
+
+// SanctionedNow reads the wall clock at a line-suppressed origin: the
+// fact never enters any summary, so neither this body nor any caller is
+// flagged.
+func SanctionedNow() int64 {
+	//simlint:ignore detlint fixture: sanctioned origin stays out of summaries
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+// Package multiignore stacks two directives — leading and trailing — on
+// one finding: both must count as used, and the finding is suppressed
+// exactly once.
+package multiignore
+
+import "time"
+
+// Both carries a doubly-suppressed wall-clock read.
+func Both() int64 {
+	//simlint:ignore detlint leading directive, stacked with the trailing one
+	return time.Now().UnixNano() //simlint:ignore detlint trailing directive, stacked with the leading one
+}

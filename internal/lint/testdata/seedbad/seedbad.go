@@ -1,0 +1,26 @@
+// Package seedbad seeds every violation of the seeding contract: a
+// shared package-level stream, constant seeds to stdlib constructors,
+// and a constant seed to a module-style seed parameter.
+package seedbad
+
+import "math/rand"
+
+// sharedStream couples draw order across every caller.
+var sharedStream *rand.Rand // want seedflow
+
+// sharedSource is the same leak one type earlier.
+var sharedSource rand.Source // want seedflow
+
+// NewGen hard-codes the stdlib seed.
+func NewGen() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want seedflow
+}
+
+// Start hard-codes a module-style seed parameter.
+func Start() {
+	startRun(7) // want seedflow
+}
+
+func startRun(runSeed int64) {
+	_ = runSeed
+}

@@ -1,0 +1,27 @@
+// Package seedok shows the sanctioned seeding shapes: per-instance
+// streams seeded from parameters and id-derived offsets. None of it may
+// be flagged.
+package seedok
+
+import "math/rand"
+
+// Gen owns its stream as instance state.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New threads the seed in as a parameter.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewOffset derives a per-id seed from the run seed — the fleet's
+// per-host pattern. The splitmix constant is an operand, not a seed.
+func NewOffset(base int64, id int) *Gen {
+	return New(base + int64(id)*0x9E3779B9)
+}
+
+// Mix uses a constant in a non-seed position.
+func Mix(v uint64) uint64 {
+	return v * 0x9E3779B97F4A7C15
+}

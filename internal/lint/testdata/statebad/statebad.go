@@ -1,0 +1,29 @@
+// Package statebad switches non-exhaustively over a marked enum without
+// a default: the silently-ignored-transition bug statelint exists for.
+package statebad
+
+// Phase is the fixture FSM.
+//
+//simlint:enum
+type Phase int
+
+// Phases.
+const (
+	Idle Phase = iota
+	Running
+	Draining
+	Stopped
+)
+
+// Describe forgets Stopped.
+func Describe(p Phase) string {
+	switch p { // want statelint
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Draining:
+		return "draining"
+	}
+	return "?"
+}

@@ -1,0 +1,67 @@
+// Package stateok covers every shape statelint must stay silent on:
+// exhaustive switches, explicit defaults, unresolvable cases, unmarked
+// types, and the typed-sentinel exclusion.
+package stateok
+
+// Phase is the fixture FSM.
+//
+//simlint:enum
+type Phase int
+
+// Phases. NumPhases is untyped-int-typed on purpose: sentinels do not
+// count as members.
+const (
+	Idle Phase = iota
+	Running
+	Stopped
+
+	NumPhases int = 3
+)
+
+// Exhaustive lists every member.
+func Exhaustive(p Phase) string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Stopped:
+		return "stopped"
+	}
+	return "?"
+}
+
+// Defaulted handles the rest explicitly.
+func Defaulted(p Phase) string {
+	switch p {
+	case Idle:
+		return "idle"
+	default:
+		return "other"
+	}
+}
+
+// Unresolvable has a case statelint cannot prove constant, so it cannot
+// claim non-exhaustiveness.
+func Unresolvable(p, q Phase) bool {
+	switch p {
+	case q:
+		return true
+	}
+	return false
+}
+
+// Unmarked switches over a plain int type that never opted in.
+type level int
+
+// Loud is a level.
+const Loud level = 1
+
+// Unmarked is out of scope without the marker.
+func Unmarked(l level) bool {
+	switch l {
+	case Loud:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module iatsim
+
+go 1.22

@@ -1,0 +1,64 @@
+// Package telapp consumes the mini telemetry registry both correctly
+// (registry-built handles, constant names, dynamic scope, the one-level
+// name-forwarding wrapper) and incorrectly (literal handles, dynamic
+// names, non-constant wrapper arguments).
+package telapp
+
+import "iatsim/internal/telemetry"
+
+const hitsName = "hits"
+
+// Stats shows the sanctioned shape: constant subsystem and name, with a
+// legitimately dynamic per-instance scope.
+type Stats struct {
+	Hits *telemetry.Counter
+}
+
+// Attach builds handles through the registry.
+func Attach(r *telemetry.Registry, scope string) *Stats {
+	return &Stats{
+		Hits: r.Counter("app", scope, hitsName), // ok: constant subsystem+name
+	}
+}
+
+// AttachDynamic computes the metric name at run time.
+func AttachDynamic(r *telemetry.Registry, metric string) *telemetry.Counter {
+	return r.Counter("app", "", metric+"_total") // want telemlint
+}
+
+// AttachViaSink proves the rule follows the interface, not just the
+// concrete type.
+func AttachViaSink(s telemetry.Sink, metric string) *telemetry.Gauge {
+	return s.Gauge("app", "", metric+"_gauge") // want telemlint
+}
+
+// bump forwards its parameter into the name position: legal here, the
+// obligation moves to every call site.
+func bump(r *telemetry.Registry, name string) {
+	r.Counter("app", "", name).Inc() // ok: forwarded parameter
+}
+
+// Good satisfies the moved obligation with a constant.
+func Good(r *telemetry.Registry) {
+	bump(r, "requests") // ok: constant at the wrapper call site
+}
+
+// Bad forwards a second level: simlint follows exactly one.
+func Bad(r *telemetry.Registry, which string) {
+	bump(r, which) // want telemlint
+}
+
+// Literal builds a handle the snapshot will never see.
+func Literal() *telemetry.Counter {
+	return &telemetry.Counter{} // want telemlint
+}
+
+// NewHandle does the same through the new builtin.
+func NewHandle() *telemetry.Gauge {
+	return new(telemetry.Gauge) // want telemlint
+}
+
+// Build constructs a registry without its map.
+func Build() *telemetry.Registry {
+	return &telemetry.Registry{} // want telemlint
+}
