@@ -95,9 +95,9 @@ fleet-smoke: build
 	@echo "fleet-smoke OK: 32-host canary rollout, jobs=1 == jobs=8 under -race"
 
 # bench: the micro-benchmark suite (cache access, NIC poll, daemon
-# iteration, platform step, fleet round) via `go test -bench`, converted
-# to JSON at results/bench.json by cmd/benchjson.
-BENCHES ?= LLCAccess|HierarchyAccess|NICPollRx|DaemonTick|Table2DaemonIteration|Table1PlatformStep|FleetRound
+# iteration, policy decision, platform step, fleet round) via `go test
+# -bench`, converted to JSON at results/bench.json by cmd/benchjson.
+BENCHES ?= LLCAccess|HierarchyAccess|NICPollRx|DaemonTick|PolicyDecide|Table2DaemonIteration|Table1PlatformStep|FleetRound
 bench: build
 	mkdir -p $(TMP) results
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . > $(TMP)/bench.txt

@@ -17,6 +17,7 @@ import (
 	"iatsim/internal/core"
 	"iatsim/internal/exp"
 	"iatsim/internal/mem"
+	"iatsim/internal/policy"
 	"iatsim/internal/sim"
 )
 
@@ -323,6 +324,58 @@ func BenchmarkNICPollRx(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.P.Step()
+	}
+}
+
+// BenchmarkPolicyDecide measures one Observe+Decide cycle of each
+// shipped allocation policy over an 8-tenant sample, alternating quiet
+// and loud I/O so the change-detection path runs every other tick — the
+// pure decision cost the daemon pays per polling interval.
+func BenchmarkPolicyDecide(b *testing.B) {
+	limits := policy.Limits{
+		ThresholdStable:        0.03,
+		ThresholdMissLowPerSec: 1e6,
+		DDIOWaysMin:            1,
+		DDIOWaysMax:            6,
+		MissDropFactor:         0.5,
+		TenantMissRateFloor:    0.05,
+	}
+	mkSample := func(missPS float64) policy.Sample {
+		s := policy.Sample{
+			NumWays: 11, DDIOWays: 2,
+			DDIOMask:   cache.ContiguousMask(9, 2),
+			Limits:     limits,
+			DDIOHitPS:  1e8,
+			DDIOMissPS: missPS,
+		}
+		for clos := 1; clos <= 8; clos++ {
+			s.Groups = append(s.Groups, policy.GroupView{
+				CLOS: clos, IO: clos == 1, Width: 1,
+				Mask: cache.ContiguousMask(clos-1, 1),
+				IPC:  0.5, RefsPS: 1e7, MissPS: 1e5, MissRate: 0.01,
+			})
+		}
+		return s
+	}
+	quiet, loud := mkSample(1e3), mkSample(5e6)
+	for _, name := range []string{"iat", "static:2", "ioca", "greedy"} {
+		b.Run(name, func(b *testing.B) {
+			spec, err := policy.ParseSpec(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pol := spec.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := quiet
+				if i&1 == 1 {
+					s = loud
+				}
+				s.NowNS = float64(i) * 1e8
+				pol.Observe(s)
+				_ = pol.Decide()
+			}
+		})
 	}
 }
 

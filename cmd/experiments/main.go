@@ -51,6 +51,7 @@ func main() {
 	retries := flag.Int("retries", 0, "re-run a crashed sweep point up to this many times before reporting it failed")
 	chaos := flag.String("chaos", "", "run the stability-under-faults experiment with this fault profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
 	fleetGrid := flag.Bool("fleet", false, "run the fleet rollout grid (strategies x canary-cohort fault storm)")
+	tournament := flag.Bool("policytournament", false, "run the policy tournament (allocation policies x workloads x fault profiles, ranked)")
 	flag.Parse()
 
 	want, selectors, err := parseSelectors(*figs, *tabs, *all, *ablations)
@@ -74,6 +75,12 @@ func main() {
 		// Like chaos, the fleet grid is opt-in rather than part of -all.
 		want["fleet"] = true
 		selectors = append(selectors, "fleet")
+		sort.Strings(selectors)
+	}
+	if *tournament {
+		// Opt-in like chaos and fleet: committed results stay policy-free.
+		want["tournament"] = true
+		selectors = append(selectors, "tournament")
 		sort.Strings(selectors)
 	}
 	if len(want) == 0 {
@@ -142,6 +149,7 @@ func main() {
 	run("abl-resq", func() any { return exp.RunAblationResQ(w, 100) })
 	run("chaos", func() any { return exp.RunChaos(w, chaosOpts(*full, *chaos)) })
 	run("fleet", func() any { return exp.RunFleetGrid(w, fleetOpts(*full, *chaos, *seed)) })
+	run("tournament", func() any { return exp.RunPolicyTournament(w, tournamentOpts(*full)) })
 
 	manifest.Finish()
 	if *jsonDir != "" {
@@ -287,6 +295,14 @@ func fleetOpts(full bool, chaos string, seed int64) exp.FleetOpts {
 	}
 	if full {
 		o.Hosts = 32
+	}
+	return o
+}
+
+func tournamentOpts(full bool) exp.TournamentOpts {
+	o := exp.DefaultTournamentOpts()
+	if !full {
+		o.Profiles = []string{"off", "default"}
 	}
 	return o
 }

@@ -33,6 +33,7 @@ import (
 	"iatsim/internal/faults"
 	"iatsim/internal/fleet"
 	"iatsim/internal/harness"
+	"iatsim/internal/policy"
 	"iatsim/internal/telemetry"
 )
 
@@ -71,6 +72,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 0, "base seed; per-host seeds and fault schedules derive from it")
 	chaos := fs.String("chaos", "", "arm a correlated fault storm on the canary cohort with this profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the storm's per-host fault schedules")
+	polFlag := fs.String("policy", "", "roll out a decision-engine change to this policy instead of the DDIO-budget tightening ("+strings.Join(policy.SpecNames(), ", ")+")")
+	shadowFlag := fs.String("shadow", "", "comma-separated shadow policies every host evaluates counterfactually each tick")
 	csvDir := fs.String("csv", "", "write the per-round aggregate rows as <dir>/fleet.csv")
 	jsonDir := fs.String("json", "", "write the run manifest as JSON into this directory")
 	telDir := fs.String("telemetry", "", "write controller and merged-host telemetry snapshots into this directory")
@@ -115,6 +118,16 @@ func run(args []string, stdout io.Writer) error {
 			return usageError{fmt.Sprintf("-chaos: %v", err)}
 		}
 	}
+	if *polFlag != "" {
+		if _, err := policy.ParseSpec(*polFlag); err != nil {
+			return usageError{fmt.Sprintf("-policy: %v", err)}
+		}
+	}
+	if *shadowFlag != "" {
+		if _, err := policy.ParseShadowSpecs(*shadowFlag); err != nil {
+			return usageError{fmt.Sprintf("-shadow: %v", err)}
+		}
+	}
 	for _, dir := range []string{*csvDir, *jsonDir, *telDir} {
 		if dir != "" {
 			if err := ensureWritableDir(dir); err != nil {
@@ -140,6 +153,7 @@ func run(args []string, stdout io.Writer) error {
 	rep, fleetHosts, err := exp.RunFleet(stdout, exp.FleetOpts{
 		Hosts: *hosts, Topology: *topology, Rollout: *rollout,
 		Storm: *chaos, StormSeed: stormSeed,
+		Policy: *polFlag, Shadow: *shadowFlag,
 		Scale: *scale, Rounds: *rounds,
 		RoundNS: *roundSecs * 1e9, IntervalNS: *interval * 1e9,
 		Seed: *seed, Tel: tel,
@@ -150,6 +164,35 @@ func run(args []string, stdout io.Writer) error {
 	last := rep.Rows[len(rep.Rows)-1]
 	fmt.Fprintf(stdout, "fleetd: done; %d hosts, %d rounds; final phase %s, %d host(s) on new policy, rolled back: %v\n",
 		*hosts, *rounds, last.Phase, rep.FinalOnNew, rep.RolledBack)
+	if *shadowFlag != "" {
+		// Fold every host's shadow divergence into one fleet-wide line
+		// per shadow policy. Summaries() orders shadows by spec, the same
+		// on every host, so the fold is index-wise over hosts in ID order.
+		var agg []policy.ShadowSummary
+		for _, h := range fleetHosts {
+			ev := h.Daemon.Shadows()
+			if ev == nil {
+				continue
+			}
+			for i, s := range ev.Summaries() {
+				if i == len(agg) {
+					agg = append(agg, policy.ShadowSummary{Name: s.Name})
+				}
+				agg[i].Ticks += s.Ticks
+				agg[i].Agreements += s.Agreements
+				agg[i].WouldGrowDDIO += s.WouldGrowDDIO
+				agg[i].WouldShrinkDDIO += s.WouldShrinkDDIO
+				agg[i].WouldGrowTenant += s.WouldGrowTenant
+				agg[i].WouldShrinkTenant += s.WouldShrinkTenant
+				agg[i].HammingTotal += s.HammingTotal
+			}
+		}
+		for _, s := range agg {
+			fmt.Fprintf(stdout, "fleetd: shadow %s: ticks=%d agree=%.3f ddio+%d/-%d tenant+%d/-%d hamming=%.2f\n",
+				s.Name, s.Ticks, s.AgreeRate(), s.WouldGrowDDIO, s.WouldShrinkDDIO,
+				s.WouldGrowTenant, s.WouldShrinkTenant, s.MeanHamming())
+		}
+	}
 
 	if *csvDir != "" {
 		if err := exp.SaveRowsCSV(*csvDir, "fleet", rep.Rows); err != nil {

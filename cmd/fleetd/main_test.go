@@ -143,6 +143,10 @@ func TestUsageErrors(t *testing.T) {
 		{"-topology", "mesh"},
 		{"-rollout", "yolo"},
 		{"-chaos", "not-a-profile"},
+		{"-policy", "bogus"},
+		{"-policy", "static:0"},
+		{"-shadow", "iat,iat"},
+		{"-shadow", "greedy,bogus"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -151,5 +155,29 @@ func TestUsageErrors(t *testing.T) {
 		if !errors.As(err, &ue) {
 			t.Errorf("args %v: got %v, want usageError", args, err)
 		}
+	}
+}
+
+// TestPolicyRolloutSmoke stages a decision-engine change through the CLI
+// with shadows armed: the run completes, names the engine pair in the
+// preamble, and reports fleet-wide shadow divergence.
+func TestPolicyRolloutSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates several rounds of platform time")
+	}
+	var out bytes.Buffer
+	err := run(smokeArgs("-policy", "static:2", "-shadow", "greedy"), &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "rollout canary (iat -> static:2)") {
+		t.Errorf("preamble does not name the engine rollout:\n%s", s)
+	}
+	if !strings.Contains(s, "fleetd: shadow greedy:") {
+		t.Errorf("missing fleet-wide shadow summary:\n%s", s)
+	}
+	if !strings.Contains(s, "fleetd: done;") {
+		t.Fatalf("run did not complete:\n%s", s)
 	}
 }

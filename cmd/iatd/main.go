@@ -30,6 +30,7 @@ import (
 	"iatsim/internal/nic"
 	"iatsim/internal/nvme"
 	"iatsim/internal/pkt"
+	"iatsim/internal/policy"
 	"iatsim/internal/sim"
 	"iatsim/internal/telemetry"
 	"iatsim/internal/tenantfile"
@@ -72,6 +73,9 @@ func run(args []string, stdout io.Writer) error {
 	telDir := fs.String("telemetry", "", "collect telemetry and write <dir>/snapshot.{json,csv,trace.json} at exit")
 	chaos := fs.String("chaos", "", "inject deterministic faults from this profile ("+joinNames()+" or kind=rate,... spec)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault-injection schedule")
+	polFlag := fs.String("policy", "iat", "active allocation policy ("+strings.Join(policy.SpecNames(), ", ")+")")
+	shadowFlag := fs.String("shadow", "", "comma-separated shadow policies evaluated counterfactually each tick")
+	shadowCSV := fs.String("shadow-csv", "", "write the per-tick shadow divergence log to this CSV file (requires -shadow)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +106,17 @@ func run(args []string, stdout io.Writer) error {
 		if err := ensureWritableDir(*telDir); err != nil {
 			return usageError{fmt.Sprintf("-telemetry: %v", err)}
 		}
+	}
+	polSpec, err := policy.ParseSpec(*polFlag)
+	if err != nil {
+		return usageError{fmt.Sprintf("-policy: %v", err)}
+	}
+	shadowSpecs, err := policy.ParseShadowSpecs(*shadowFlag)
+	if err != nil {
+		return usageError{fmt.Sprintf("-shadow: %v", err)}
+	}
+	if *shadowCSV != "" && len(shadowSpecs) == 0 {
+		return usageError{"-shadow-csv requires -shadow"}
 	}
 	f, err := os.Open(*tenantsPath)
 	if err != nil {
@@ -135,6 +150,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if tel != nil {
 		daemon.Tel = tel
+	}
+	// Only a non-default policy is swapped in: with -policy iat the daemon
+	// keeps the policy NewDaemon installed, so output (including the
+	// telemetry event stream) is bit-for-bit the pre-flag behaviour.
+	if polSpec.Kind != policy.KindIAT {
+		if err := daemon.SetPolicy(polSpec.New()); err != nil {
+			return err
+		}
+	}
+	var shadows *policy.Evaluator
+	if len(shadowSpecs) > 0 {
+		shadows = policy.NewEvaluator(shadowSpecs)
+		if tel != nil {
+			shadows.Tel = tel
+		}
+		daemon.AttachShadows(shadows)
 	}
 	var tracer *trace.Writer
 	if *tracePath != "" {
@@ -189,6 +220,30 @@ func run(args []string, stdout io.Writer) error {
 		h := daemon.Health()
 		fmt.Fprintf(stdout, "iatd: chaos: %d faults injected; health: rejects=%d retries=%d wfail=%d degradations=%d rearms=%d degraded=%v\n",
 			inj.Total(), h.SampleRejects, h.WriteRetries, h.WriteFailures, h.Degradations, h.Rearms, h.Degraded)
+	}
+	if shadows != nil {
+		for _, sum := range shadows.Summaries() {
+			fmt.Fprintf(stdout, "iatd: shadow %s: ticks=%d agree=%.3f ddio+%d/-%d tenant+%d/-%d hamming=%.2f final-ddio=%d\n",
+				sum.Name, sum.Ticks, sum.AgreeRate(), sum.WouldGrowDDIO, sum.WouldShrinkDDIO,
+				sum.WouldGrowTenant, sum.WouldShrinkTenant, sum.MeanHamming(), sum.FinalDDIO)
+		}
+		if n := shadows.Dropped(); n > 0 {
+			fmt.Fprintf(stdout, "iatd: shadow: %d divergence rows dropped (log bound reached)\n", n)
+		}
+		if *shadowCSV != "" {
+			cf, err := os.Create(*shadowCSV)
+			if err != nil {
+				return err
+			}
+			if err := shadows.WriteCSV(cf); err != nil {
+				cf.Close()
+				return err
+			}
+			if err := cf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "iatd: shadow divergence log written to %s\n", *shadowCSV)
+		}
 	}
 	if tel != nil {
 		base := filepath.Join(*telDir, "snapshot")

@@ -139,6 +139,11 @@ func TestFlagValidation(t *testing.T) {
 		{"zero scale", []string{"-tenants", path, "-scale", "0"}, "-scale"},
 		{"bad chaos profile", []string{"-tenants", path, "-chaos", "nosuch"}, "-chaos"},
 		{"bad chaos spec", []string{"-tenants", path, "-chaos", "msr-reject=2.5"}, "-chaos"},
+		{"unknown policy", []string{"-tenants", path, "-policy", "bogus"}, "-policy"},
+		{"static ways out of range", []string{"-tenants", path, "-policy", "static:0"}, "-policy"},
+		{"duplicate shadow", []string{"-tenants", path, "-shadow", "ioca,ioca"}, "-shadow"},
+		{"unknown shadow", []string{"-tenants", path, "-shadow", "greedy,bogus"}, "-shadow"},
+		{"shadow csv without shadows", []string{"-tenants", path, "-shadow-csv", "/tmp/x.csv"}, "-shadow-csv"},
 	}
 	for _, tc := range cases {
 		var out bytes.Buffer
@@ -151,6 +156,44 @@ func TestFlagValidation(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: message %q does not name %s", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestPolicyAndShadowFlags drives the daemon CLI on a non-IAT engine
+// with shadow policies armed: the run completes, prints one divergence
+// summary per shadow, and writes the per-tick divergence CSV.
+func TestPolicyAndShadowFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 1s of platform time")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "shadow.csv")
+	var out bytes.Buffer
+	err := run([]string{"-tenants", path, "-duration", "1", "-interval", "0.2",
+		"-policy", "static:4", "-shadow", "iat,greedy", "-shadow-csv", csvPath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"iatd: shadow iat:", "iatd: shadow greedy:", "iatd: done;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "time_ns,policy,active_class,shadow_class,agree,active_ddio,shadow_ddio,hamming,shadow_desc" {
+		t.Errorf("divergence CSV header = %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Errorf("divergence CSV has %d lines, want rows for both shadows", len(lines))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"iatsim/internal/cache"
+	"iatsim/internal/policy"
 	"iatsim/internal/rdt"
 	"iatsim/internal/telemetry"
 )
@@ -52,9 +53,13 @@ type StepTimings struct {
 	Stable     bool
 }
 
-// Daemon is the IAT daemon. Construct with NewDaemon, then call Tick
-// periodically (the simulated platform polls it every epoch; it iterates
-// once per Params.IntervalNS). Not safe for concurrent use.
+// Daemon is the IAT daemon: the mechanism half of the control loop. It
+// polls and sanity-screens counters, self-heals, packs and programs masks
+// — and delegates the decision half (what to re-allocate) to a
+// policy.Policy, by default the paper's IAT FSM (policy.NewIAT, byte-for-
+// byte the pre-extraction behaviour). Construct with NewDaemon, then call
+// Tick periodically (the simulated platform polls it every epoch; it
+// iterates once per Params.IntervalNS). Not safe for concurrent use.
 type Daemon struct {
 	sys  System
 	P    Params
@@ -70,13 +75,16 @@ type Daemon struct {
 	ddioWays int
 	topCLOS  int // group currently (candidate for) sharing with DDIO
 
-	lastIterNS   float64
-	prevCumTime  float64
-	prevCum      map[int]rdt.CoreCounters
-	prevDDIO     rdt.DDIOCounters
-	havePrevCum  bool
-	prevRates    intervalSample
-	havePrevRate bool
+	lastIterNS  float64
+	prevCumTime float64
+	prevCum     map[int]rdt.CoreCounters
+	prevDDIO    rdt.DDIOCounters
+	havePrevCum bool
+
+	// pol decides; shadows (optional) evaluate candidate policies on the
+	// same accepted samples without touching any register.
+	pol     policy.Policy
+	shadows *policy.Evaluator
 
 	timings  StepTimings
 	iters    uint64
@@ -108,8 +116,8 @@ type Daemon struct {
 	nowNS    float64 // current iteration's sim time, for apply()-time events
 }
 
-// NewDaemon builds a daemon over sys. It performs the Get Tenant Info and
-// LLC Alloc steps on the first Tick.
+// NewDaemon builds a daemon over sys running the default IAT policy. It
+// performs the Get Tenant Info and LLC Alloc steps on the first Tick.
 func NewDaemon(sys System, p Params, opts Options) (*Daemon, error) {
 	p = p.withRobustnessDefaults()
 	if err := p.Validate(sys.NumWays()); err != nil {
@@ -124,6 +132,7 @@ func NewDaemon(sys System, p Params, opts Options) (*Daemon, error) {
 		nWays:      sys.NumWays(),
 		topCLOS:    -1,
 		lastIterNS: -1e18,
+		pol:        policy.NewIAT(),
 	}, nil
 }
 
@@ -156,6 +165,34 @@ func (d *Daemon) SetParams(p Params) error {
 		fmt.Sprintf("ddio=[%d,%d] interval=%gns missLow=%.3g/s", p.DDIOWaysMin, p.DDIOWaysMax, p.IntervalNS, p.ThresholdMissLowPerSec))
 	return nil
 }
+
+// SetPolicy replaces the decision policy of a running daemon between
+// iterations — the control-plane path for staging a policy (not just
+// parameter) rollout. The new policy starts from a fresh baseline (its
+// first decision warms up) and the FSM restarts in LowKeep; the
+// currently programmed masks stay in force until the new policy's first
+// non-warmup decision moves them.
+func (d *Daemon) SetPolicy(p policy.Policy) error {
+	if p == nil {
+		return fmt.Errorf("core: SetPolicy(nil)")
+	}
+	p.Reset()
+	d.pol = p
+	d.state = LowKeep
+	d.emitHealth(telemetry.SevInfo, "policy_update", p.Name())
+	return nil
+}
+
+// Policy returns the active decision policy.
+func (d *Daemon) Policy() policy.Policy { return d.pol }
+
+// AttachShadows attaches a shadow evaluator: every sample the daemon
+// accepts (sanity-screened, not degraded) is also fed to ev alongside the
+// decision actually executed. Pass nil to detach.
+func (d *Daemon) AttachShadows(ev *policy.Evaluator) { d.shadows = ev }
+
+// Shadows returns the attached shadow evaluator (nil when none).
+func (d *Daemon) Shadows() *policy.Evaluator { return d.shadows }
 
 // State returns the FSM state.
 func (d *Daemon) State() State { return d.state }
@@ -213,9 +250,13 @@ func (d *Daemon) getTenantInfo() {
 		g.Width = d.sys.CLOSMask(g.CLOS).Count()
 	}
 	d.ddioWays = d.sys.DDIOMask().Count()
-	// Reset sampling state: new tenants mean old deltas are meaningless.
+	// Reset sampling state: new tenants mean old deltas are meaningless —
+	// for the policy and every shadow alike.
 	d.havePrevCum = false
-	d.havePrevRate = false
+	d.pol.Reset()
+	if d.shadows != nil {
+		d.shadows.Reset()
+	}
 	d.needInfo = false
 }
 
@@ -228,22 +269,6 @@ func sortedCLOS[V any](m map[int]V) []int {
 	}
 	sort.Ints(ids)
 	return ids
-}
-
-// relDelta is the relative change of cur vs prev with a noise floor on the
-// denominator.
-func relDelta(cur, prev, floor float64) float64 {
-	denom := prev
-	if denom < floor {
-		denom = floor
-	}
-	if denom == 0 {
-		if cur == 0 {
-			return 0
-		}
-		return 1
-	}
-	return (cur - prev) / denom
 }
 
 // poll reads all counters and derives the interval sample. It returns
@@ -300,57 +325,55 @@ func (d *Daemon) poll(nowNS float64) (intervalSample, bool) {
 	return s, true
 }
 
-// changes summarises what moved between two interval samples.
-type changes struct {
-	any         bool
-	ddio        bool
-	hitDown     bool
-	missUp      bool
-	missDown    bool
-	bigMissDrop bool
-	refsUp      bool
-	// groups whose IPC changed along with LLC refs/misses
-	coreChanged []int // CLOS ids
-	// groups with only-IPC changes are ignored per Sec. IV-B case (1)
-}
-
-func (d *Daemon) detect(cur, prev intervalSample) changes {
-	T := d.P.ThresholdStable
-	const ipcFloor = 0.05
-	refsFloor := d.P.ThresholdMissLowPerSec / 10
-	ddioFloor := d.P.ThresholdMissLowPerSec / 20
-
-	var ch changes
-	relHit := relDelta(cur.ddioHitPS, prev.ddioHitPS, ddioFloor)
-	relMiss := relDelta(cur.ddioMissPS, prev.ddioMissPS, ddioFloor)
-	ch.ddio = relHit > T || relHit < -T || relMiss > T || relMiss < -T
-	ch.hitDown = relHit < -T
-	ch.missUp = relMiss > T
-	ch.missDown = relMiss < -T
-	ch.bigMissDrop = relMiss < -d.P.MissDropFactor
-	ch.refsUp = relDelta(cur.totalRefsPS, prev.totalRefsPS, refsFloor) > T
-	ch.any = ch.ddio
-
-	for _, clos := range sortedCLOS(cur.perGroup) {
-		g := cur.perGroup[clos]
-		p := prev.perGroup[clos]
-		ipcCh := relDelta(g.IPC, p.IPC, ipcFloor)
-		refsCh := relDelta(g.RefsPS, p.RefsPS, refsFloor)
-		missCh := relDelta(g.MissPS, p.MissPS, refsFloor)
-		ipcMoved := ipcCh > T || ipcCh < -T
-		llcMoved := refsCh > T || refsCh < -T || missCh > T || missCh < -T
-		if ipcMoved || llcMoved {
-			ch.any = true
-		}
-		if ipcMoved && llcMoved {
-			ch.coreChanged = append(ch.coreChanged, clos)
-		}
+// sampleFor renders one accepted interval sample into the policy's view:
+// the committed FSM state, the current layout (groups in registration
+// order — policy tie-breaks depend on it), the active limits, and the
+// interval rates.
+func (d *Daemon) sampleFor(nowNS float64, cur intervalSample) policy.Sample {
+	s := policy.Sample{
+		NowNS:    nowNS,
+		State:    d.state,
+		NumWays:  d.nWays,
+		DDIOWays: d.ddioWays,
+		DDIOMask: d.sys.DDIOMask(),
+		Limits: policy.Limits{
+			ThresholdStable:        d.P.ThresholdStable,
+			ThresholdMissLowPerSec: d.P.ThresholdMissLowPerSec,
+			DDIOWaysMin:            d.P.DDIOWaysMin,
+			DDIOWaysMax:            d.P.DDIOWaysMax,
+			MissDropFactor:         d.P.MissDropFactor,
+			TenantMissRateFloor:    d.P.TenantMissRateFloor,
+			UCPGrowth:              d.P.Growth == GrowUCP,
+			DisableDDIOAdjust:      d.Opts.DisableDDIOAdjust,
+			DisableShuffle:         d.Opts.DisableShuffle,
+			DisableTenantAdjust:    d.Opts.DisableTenantAdjust,
+		},
+		Groups:      make([]policy.GroupView, 0, len(d.groups)),
+		DDIOHitPS:   cur.ddioHitPS,
+		DDIOMissPS:  cur.ddioMissPS,
+		TotalRefsPS: cur.totalRefsPS,
 	}
-	sort.Ints(ch.coreChanged)
-	return ch
+	for _, g := range d.groups {
+		gr := cur.perGroup[g.CLOS]
+		s.Groups = append(s.Groups, policy.GroupView{
+			CLOS:       g.CLOS,
+			IO:         g.IO,
+			Stack:      g.Priority == Stack,
+			BestEffort: g.Priority == BE,
+			Width:      g.Width,
+			Mask:       d.sys.CLOSMask(g.CLOS),
+			IPC:        gr.IPC,
+			RefsPS:     gr.RefsPS,
+			MissPS:     gr.MissPS,
+			MissRate:   gr.MissRate,
+		})
+	}
+	return s
 }
 
-// iterate is one Poll Prof Data -> State Transition -> LLC Re-alloc pass.
+// iterate is one Poll Prof Data -> State Transition -> LLC Re-alloc pass:
+// poll and screen the counters, hand the sample to the policy, execute
+// whatever it decided, then feed the shadows.
 func (d *Daemon) iterate(nowNS float64) {
 	d.nowNS = nowNS
 	if d.needInfo {
@@ -363,9 +386,10 @@ func (d *Daemon) iterate(nowNS float64) {
 	if !ok {
 		return
 	}
-	// Sanity-screen the sample before it can steer the FSM or become a
+	// Sanity-screen the sample before it can steer the policy or become a
 	// comparison baseline; glitched samples advance the degradation
-	// streak instead.
+	// streak instead. Rejected and degraded samples reach neither the
+	// policy nor the shadows.
 	if reason := d.sampleInsane(cur); reason != "" {
 		d.rejectSample(nowNS, cur, reason)
 		return
@@ -374,266 +398,92 @@ func (d *Daemon) iterate(nowNS float64) {
 		d.degradedTick(nowNS, cur)
 		return
 	}
-	if !d.havePrevRate {
-		d.prevRates = cur
-		d.havePrevRate = true
+	s := d.sampleFor(nowNS, cur)
+	d.pol.Observe(s)
+	a := d.pol.Decide()
+	if a.Warmup {
+		// Baseline adoption: silent, uncounted, no re-allocation.
+		d.state = a.State
+		d.shadowTick(s, a)
 		return
 	}
 	d.iters++
 	d.writeFailedIter = false
-
-	ch := d.detect(cur, d.prevRates)
-	prev := d.prevRates
-	d.prevRates = cur
-
-	if !ch.any {
-		// Stability gates TRANSITIONS, not progression: the paper's
-		// I/O Demand and Reclaim states keep moving one way per
-		// iteration until they reach DDIO_WAYS_MAX / DDIO_WAYS_MIN
-		// (Sec. IV-C), even when the counters have settled.
-		var action string
-		switch {
-		case d.state == Reclaim:
-			action = "continue: " + d.act(cur)
-		case d.state == IODemand && cur.ddioMissPS > d.P.ThresholdMissLowPerSec:
-			action = "continue: " + d.act(cur)
-		}
-		if action == "" {
-			d.finishIter()
-			d.emit(nowNS, cur, true, "stable")
-			return
-		}
-		d.unstable++
-		d.timings.Stable = false
-		d.timings.Realloc = time.Since(t1) //simlint:ignore detlint Fig. 15 re-alloc cost of a continue action; wall clock only reaches StepTimings
+	if a.Stable {
+		d.state = a.State
 		d.finishIter()
-		d.emit(nowNS, cur, false, action)
+		d.emit(nowNS, cur, true, a.Desc)
+		d.shadowTick(s, a)
 		return
 	}
 	d.unstable++
 	d.timings.Stable = false
-
-	action := d.decide(cur, prev, ch)
+	if a.Continue {
+		chosen := d.execute(a)
+		d.state = chosen.State
+		d.timings.Realloc = time.Since(t1) //simlint:ignore detlint Fig. 15 re-alloc cost of a continue action; wall clock only reaches StepTimings
+		d.finishIter()
+		d.emit(nowNS, cur, false, chosen.Desc)
+		d.shadowTick(s, chosen)
+		return
+	}
+	chosen := d.execute(a)
+	d.state = chosen.State
 	t2 := time.Now() //simlint:ignore detlint Fig. 15 transition-phase boundary; wall clock only reaches StepTimings
 	d.timings.Transition = t2.Sub(t1)
 	d.timings.Realloc = time.Since(t2) //simlint:ignore detlint Fig. 15 re-alloc cost; wall clock only reaches StepTimings
 	d.finishIter()
-	d.emit(nowNS, cur, false, action)
+	d.emit(nowNS, cur, false, chosen.Desc)
+	d.shadowTick(s, chosen)
 }
 
-// decide routes an unstable iteration through the special cases of
-// Sec. IV-B and the FSM of Sec. IV-C, performing the LLC Re-alloc actions.
-// It returns a human-readable action description.
-func (d *Daemon) decide(cur, prev intervalSample, ch changes) string {
-	// Case (1): IPC-only change with no LLC and no DDIO movement is
-	// neither cache/memory nor I/O; detect() already excludes such
-	// groups from coreChanged, so if nothing else moved we are done.
-	if !ch.ddio && len(ch.coreChanged) == 0 {
-		return "ipc-only: ignored"
-	}
-
-	// Case (2): a tenant's IPC and LLC behaviour changed while the I/O is
-	// not pressing the LLC (no DDIO-miss movement and a quiet write-
-	// allocate rate) — pure core demand for LLC space; serve it with the
-	// core-side allocator. The DDIO *hit* rate may still move (it tracks
-	// delivered throughput), which is why the gate is on misses.
-	ioQuiet := cur.ddioMissPS < d.P.ThresholdMissLowPerSec && !ch.missUp
-	if !ch.ddio || (ioQuiet && len(ch.coreChanged) > 0) {
-		if d.Opts.DisableTenantAdjust {
-			return "core-demand (tenant adjust disabled)"
+// execute performs the policy's re-allocation operations against the
+// machine and returns the decision that actually took effect (a
+// TryShuffle whose layout pass wrote nothing resolves to its Fallback).
+// The isolation switches are enforced here again, so a misbehaving policy
+// cannot bypass them.
+func (d *Daemon) execute(a policy.Actions) policy.Actions {
+	if a.TryShuffle {
+		if !d.Opts.DisableShuffle && d.apply() {
+			return a
 		}
-		if g := d.pickCoreChanged(cur, prev, ch.coreChanged); g != nil {
-			if d.growGroup(g) {
-				d.apply()
-				return fmt.Sprintf("case2: +1 way for clos %d", g.CLOS)
+		if a.Fallback != nil {
+			return d.execute(*a.Fallback)
+		}
+		return a
+	}
+	changed := false
+	if !d.Opts.DisableTenantAdjust {
+		for _, clos := range a.Grow {
+			if g := d.byCLOS[clos]; g != nil && d.growGroup(g) {
+				changed = true
 			}
 		}
-		return "case2: no action"
-	}
-
-	// Case (3): a non-I/O tenant overlapping DDIO changed together with
-	// the DDIO counters — try shuffling first.
-	if !d.Opts.DisableShuffle && d.overlappedNonIOChanged(ch.coreChanged) {
-		if d.apply() {
-			return "case3: shuffled"
-		}
-		// Shuffle was a no-op; fall through to the FSM.
-	}
-
-	next := d.transition(cur, prev, ch)
-	from := d.state
-	d.state = next
-	act := d.act(cur)
-	return fmt.Sprintf("%s->%s %s", from, d.state, act)
-}
-
-// pickCoreChanged chooses the group whose LLC miss rate rose the most.
-func (d *Daemon) pickCoreChanged(cur, prev intervalSample, closes []int) *Group {
-	var best *Group
-	bestDelta := 0.0
-	for _, clos := range closes {
-		g := d.byCLOS[clos]
-		if g == nil {
-			continue
-		}
-		delta := cur.perGroup[clos].MissRate - prev.perGroup[clos].MissRate
-		if delta > bestDelta {
-			best, bestDelta = g, delta
-		}
-	}
-	return best
-}
-
-// overlappedNonIOChanged reports whether any changed group is non-I/O and
-// currently overlaps the DDIO ways.
-func (d *Daemon) overlappedNonIOChanged(closes []int) bool {
-	ddio := d.sys.DDIOMask()
-	for _, clos := range closes {
-		g := d.byCLOS[clos]
-		if g == nil || g.IO {
-			continue
-		}
-		if d.sys.CLOSMask(clos).Overlaps(ddio) {
-			return true
-		}
-	}
-	return false
-}
-
-// transition implements the Mealy FSM of Fig. 6.
-func (d *Daemon) transition(cur, prev intervalSample, ch changes) State {
-	missHigh := cur.ddioMissPS > d.P.ThresholdMissLowPerSec
-	switch d.state {
-	case LowKeep:
-		if missHigh {
-			if ch.hitDown && ch.refsUp {
-				return CoreDemand // (3) in Fig. 6
+		for _, clos := range a.Shrink {
+			if g := d.byCLOS[clos]; g != nil && g.Width > 1 {
+				g.Width--
+				changed = true
 			}
-			return IODemand // (1)
 		}
-		return LowKeep
-	case IODemand:
-		if ch.hitDown && !ch.missDown {
-			return CoreDemand // (7)
-		}
-		if ch.bigMissDrop || !missHigh {
-			return Reclaim // (6)
-		}
-		return IODemand // (5), HighKeep entry handled by act()
-	case HighKeep:
-		if ch.hitDown && !ch.missDown {
-			return CoreDemand // (12)
-		}
-		if ch.bigMissDrop || !missHigh {
-			return Reclaim // (11)
-		}
-		return HighKeep
-	case CoreDemand:
-		if ch.missDown {
-			return Reclaim // (8)
-		}
-		if ch.missUp && !ch.hitDown {
-			return IODemand // (4)
-		}
-		return CoreDemand
-	case Reclaim:
-		if ch.missUp && missHigh {
-			if ch.hitDown {
-				return CoreDemand // (9)
-			}
-			return IODemand // (13)
-		}
-		return Reclaim // (2) to LowKeep handled by act()
 	}
-	return d.state
+	if !d.Opts.DisableDDIOAdjust && a.DDIOWays != d.ddioWays {
+		if t := min(max(a.DDIOWays, 1), d.nWays); t != d.ddioWays {
+			d.ddioWays = t
+			changed = true
+		}
+	}
+	if changed {
+		d.apply()
+	}
+	return a
 }
 
-// act performs the LLC Re-alloc for the (new) state and returns a
-// description.
-func (d *Daemon) act(cur intervalSample) string {
-	switch d.state {
-	case IODemand:
-		if d.Opts.DisableDDIOAdjust {
-			return "(ddio adjust disabled)"
-		}
-		if d.ddioWays < d.P.DDIOWaysMax {
-			d.ddioWays += d.growthSteps(cur.ddioMissPS)
-			if d.ddioWays > d.P.DDIOWaysMax {
-				d.ddioWays = d.P.DDIOWaysMax
-			}
-			d.apply()
-		}
-		if d.ddioWays >= d.P.DDIOWaysMax {
-			d.state = HighKeep // (10)
-			return fmt.Sprintf("ddio=%d (max, ->HighKeep)", d.ddioWays)
-		}
-		return fmt.Sprintf("ddio=%d", d.ddioWays)
-	case CoreDemand:
-		if d.Opts.DisableTenantAdjust {
-			return "(tenant adjust disabled)"
-		}
-		g := d.selectCoreDemand(cur)
-		if g != nil && d.growGroup(g) {
-			d.apply()
-			return fmt.Sprintf("+1 way clos %d", g.CLOS)
-		}
-		return "no grow candidate"
-	case Reclaim:
-		desc := d.reclaimOne(cur)
-		if d.ddioWays <= d.P.DDIOWaysMin {
-			d.state = LowKeep // (2)
-			desc += " ->LowKeep"
-		}
-		return desc
-	case LowKeep, HighKeep:
-		return "hold"
+// shadowTick feeds one accepted sample plus the executed decision to the
+// shadow evaluator, if one is attached.
+func (d *Daemon) shadowTick(s policy.Sample, chosen policy.Actions) {
+	if d.shadows != nil && !d.shadows.Empty() {
+		d.shadows.Tick(s, chosen, d.sys.DDIOMask())
 	}
-	return ""
-}
-
-// selectCoreDemand picks the group to grow in the Core Demand state:
-// the software stack under the aggregation model, otherwise the I/O tenant
-// with the largest LLC miss-rate increase (Sec. IV-D).
-func (d *Daemon) selectCoreDemand(cur intervalSample) *Group {
-	for _, g := range d.groups {
-		if g.Priority == Stack {
-			return g
-		}
-	}
-	var best *Group
-	bestDelta := -1.0
-	for _, g := range d.groups {
-		if !g.IO {
-			continue
-		}
-		delta := cur.perGroup[g.CLOS].MissRate - d.prevMissRate(g.CLOS)
-		if delta > bestDelta {
-			best, bestDelta = g, delta
-		}
-	}
-	return best
-}
-
-// prevMissRate returns the group's previous-interval miss rate (0 when
-// unknown). The daemon keeps it on the Group for simplicity.
-func (d *Daemon) prevMissRate(clos int) float64 {
-	if g := d.byCLOS[clos]; g != nil {
-		return g.MissRate
-	}
-	return 0
-}
-
-// growthSteps returns how many ways one iteration grants under the
-// configured growth policy.
-func (d *Daemon) growthSteps(missPS float64) int {
-	if d.P.Growth != GrowUCP {
-		return 1
-	}
-	steps := 1
-	for x := missPS; x > 4*d.P.ThresholdMissLowPerSec && steps < 3; x /= 4 {
-		steps++
-	}
-	return steps
 }
 
 // growGroup widens a group by one way if total capacity allows.
@@ -643,39 +493,6 @@ func (d *Daemon) growGroup(g *Group) bool {
 	}
 	g.Width++
 	return true
-}
-
-// reclaimOne takes one way back from DDIO or from an over-provisioned
-// tenant, preferring DDIO while the I/O is quiet.
-func (d *Daemon) reclaimOne(cur intervalSample) string {
-	quietIO := cur.ddioMissPS < d.P.ThresholdMissLowPerSec
-	if !d.Opts.DisableDDIOAdjust && quietIO && d.ddioWays > d.P.DDIOWaysMin {
-		d.ddioWays--
-		d.apply()
-		return fmt.Sprintf("ddio=%d", d.ddioWays)
-	}
-	if !d.Opts.DisableTenantAdjust {
-		var victim *Group
-		for _, g := range d.groups {
-			if g.Width <= 1 || g.MissRate > d.P.TenantMissRateFloor {
-				continue
-			}
-			if victim == nil || g.RefsPerSec < victim.RefsPerSec {
-				victim = g
-			}
-		}
-		if victim != nil {
-			victim.Width--
-			d.apply()
-			return fmt.Sprintf("-1 way clos %d", victim.CLOS)
-		}
-	}
-	if !d.Opts.DisableDDIOAdjust && d.ddioWays > d.P.DDIOWaysMin {
-		d.ddioWays--
-		d.apply()
-		return fmt.Sprintf("ddio=%d", d.ddioWays)
-	}
-	return "nothing to reclaim"
 }
 
 // apply recomputes the layout and programs every mask that changed. It

@@ -345,43 +345,6 @@ func TestDaemonIntervalGating(t *testing.T) {
 	}
 }
 
-func TestRelDelta(t *testing.T) {
-	if relDelta(110, 100, 1) != 0.1 {
-		t.Error("basic delta wrong")
-	}
-	if relDelta(0, 0, 0) != 0 {
-		t.Error("zero/zero should be 0")
-	}
-	if relDelta(5, 0, 0) != 1 {
-		t.Error("growth from zero should saturate at 1")
-	}
-	if d := relDelta(10, 1, 100); d != 0.09 {
-		t.Errorf("floored delta = %v", d)
-	}
-}
-
-func TestUCPGrowthSteps(t *testing.T) {
-	m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
-	p := DefaultParams()
-	p.IntervalNS = 100e6
-	p.Growth = GrowUCP
-	d, err := NewDaemon(m, p, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// At 1x the threshold: single step; at 100x: capped at 3.
-	if s := d.growthSteps(p.ThresholdMissLowPerSec); s != 1 {
-		t.Fatalf("steps at threshold = %d", s)
-	}
-	if s := d.growthSteps(100 * p.ThresholdMissLowPerSec); s != 3 {
-		t.Fatalf("steps at 100x = %d", s)
-	}
-	d.P.Growth = GrowOneWay
-	if s := d.growthSteps(100 * p.ThresholdMissLowPerSec); s != 1 {
-		t.Fatalf("one-way policy granted %d", s)
-	}
-}
-
 func TestUCPConvergesFasterThanOneWay(t *testing.T) {
 	iters := func(g GrowthPolicy) int {
 		m := newMockSys([]TenantInfo{ioTenant("fwd", 1, 0, PC)})
@@ -414,5 +377,10 @@ func TestUCPConvergesFasterThanOneWay(t *testing.T) {
 func TestGrowthPolicyString(t *testing.T) {
 	if GrowOneWay.String() != "one-way" || GrowUCP.String() != "ucp" {
 		t.Error("growth policy strings wrong")
+	}
+	// Out-of-range values take the default branch and render the raw
+	// value rather than an empty or aliased name.
+	if got := GrowthPolicy(7).String(); got != "GrowthPolicy(7)" {
+		t.Errorf("GrowthPolicy(7).String() = %q, want GrowthPolicy(7)", got)
 	}
 }

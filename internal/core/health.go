@@ -127,8 +127,12 @@ func (d *Daemon) enterDegraded() {
 		d.programDDIO(cache.ContiguousMask(d.nWays-d.ddioWays, d.ddioWays))
 	}
 	d.state = LowKeep
-	// Old baselines are untrustworthy; re-baseline after re-arming.
-	d.havePrevRate = false
+	// Old baselines are untrustworthy; the policy and every shadow
+	// re-baseline after re-arming.
+	d.pol.Reset()
+	if d.shadows != nil {
+		d.shadows.Reset()
+	}
 }
 
 // degradedTick is one iteration under degradation: hold the safe
@@ -147,8 +151,15 @@ func (d *Daemon) degradedTick(nowNS float64, cur intervalSample) {
 	d.bumpHealth("rearms")
 	d.emitHealth(telemetry.SevInfo, "rearmed", fmt.Sprintf("after %d sane samples", d.rearmNeed))
 	d.state = LowKeep
-	d.prevRates = cur
-	d.havePrevRate = true
+	// Re-adopt the re-arming sample as the comparison baseline: the
+	// policy observes it and its (warmup) decision is discarded, so the
+	// next iteration compares against this sample — exactly the
+	// pre-extraction "prevRates = cur" re-arm semantics. The shadows see
+	// the same warmup tick and re-adopt the machine layout with it.
+	s := d.sampleFor(nowNS, cur)
+	d.pol.Observe(s)
+	aw := d.pol.Decide()
+	d.shadowTick(s, aw)
 	d.emit(nowNS, cur, false, "re-armed")
 }
 

@@ -191,8 +191,11 @@ func TestStateString(t *testing.T) {
 			t.Errorf("%v", s)
 		}
 	}
-	if State(99).String() == "" {
-		t.Error("unknown state should still render")
+	// The out-of-range default branch must render the raw value, so a
+	// corrupted state is visible in emitted lines instead of crashing or
+	// masquerading as a real state.
+	if got := State(99).String(); got != "State(99)" {
+		t.Errorf("State(99).String() = %q, want State(99)", got)
 	}
 }
 

@@ -13,7 +13,11 @@
 // the same code.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"iatsim/internal/policy"
+)
 
 // Params are the IAT tuning parameters of Table II of the paper, expressed
 // as rates so the polling interval is an independent knob.
@@ -188,43 +192,17 @@ type Options struct {
 	DisableTenantAdjust bool
 }
 
-// State is the Mealy FSM state of Fig. 6.
-//
-//simlint:enum
-type State int
+// State is the Mealy FSM state of Fig. 6. The type now lives in
+// internal/policy (the allocation policy owns the control FSM — see the
+// //simlint:enum marker and String() there); the alias and re-declared
+// constants keep core's public API source-compatible.
+type State = policy.State
 
-// FSM states.
+// FSM states (re-exported from internal/policy).
 const (
-	// LowKeep: I/O traffic is not pressing the LLC; DDIO ways stay at
-	// the minimum.
-	LowKeep State = iota
-	// IODemand: intensive I/O traffic; write allocates overflow the DDIO
-	// ways — grow them.
-	IODemand
-	// CoreDemand: a memory-intensive I/O application's cores are
-	// evicting the Rx buffers — grow the tenant's ways.
-	CoreDemand
-	// HighKeep: DDIO holds its maximum allocation; hold.
-	HighKeep
-	// Reclaim: I/O pressure receded with a mid-level allocation —
-	// reclaim a way per iteration from DDIO or an over-provisioned
-	// tenant.
-	Reclaim
+	LowKeep    = policy.LowKeep
+	IODemand   = policy.IODemand
+	CoreDemand = policy.CoreDemand
+	HighKeep   = policy.HighKeep
+	Reclaim    = policy.Reclaim
 )
-
-// String implements fmt.Stringer.
-func (s State) String() string {
-	switch s {
-	case LowKeep:
-		return "LowKeep"
-	case IODemand:
-		return "IODemand"
-	case CoreDemand:
-		return "CoreDemand"
-	case HighKeep:
-		return "HighKeep"
-	case Reclaim:
-		return "Reclaim"
-	}
-	return fmt.Sprintf("State(%d)", int(s))
-}

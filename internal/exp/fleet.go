@@ -8,6 +8,7 @@ import (
 	"iatsim/internal/core"
 	"iatsim/internal/faults"
 	"iatsim/internal/fleet"
+	"iatsim/internal/policy"
 	"iatsim/internal/telemetry"
 )
 
@@ -22,6 +23,19 @@ type FleetOpts struct {
 	// canary cohort for the bake window ("" or "off" = no storm).
 	Storm     string
 	StormSeed int64
+
+	// Policy, when non-empty, stages a decision-engine change instead of
+	// the default DDIO-budget tightening: the rollout's Old policy pins
+	// every host to the IAT engine and New switches the cohort to this
+	// spec (e.g. "static:2", "ioca"), under the same canary/rollback
+	// machinery. Parameters are held identical across Old and New so the
+	// cohort comparison isolates the engine change.
+	Policy string
+	// Shadow is a comma-separated list of policy specs every host daemon
+	// evaluates counterfactually each tick ("" = none). Shadows never
+	// touch allocations; their divergence counters land in each host's
+	// telemetry registry.
+	Shadow string
 
 	Scale      float64 // platform time-compression factor
 	Rounds     int     // aggregation rounds
@@ -161,6 +175,15 @@ func BuildFleet(o FleetOpts) ([]*fleet.Host, error) {
 			return nil, err
 		}
 		daemon.Tel = tel
+		if o.Shadow != "" {
+			specs, err := policy.ParseShadowSpecs(o.Shadow)
+			if err != nil {
+				return nil, err
+			}
+			ev := policy.NewEvaluator(specs)
+			ev.Tel = tel
+			daemon.AttachShadows(ev)
+		}
 		s.P.AddController(daemon)
 
 		var prof faults.Profile
@@ -176,13 +199,39 @@ func BuildFleet(o FleetOpts) ([]*fleet.Host, error) {
 	return hosts, nil
 }
 
+// FleetEnginePolicies returns the rollout pair for a staged
+// decision-engine change: both policies share the incumbent parameter
+// set (so the cohort comparison isolates the engine), Old pins the IAT
+// engine and New switches to spec.
+func FleetEnginePolicies(scale, intervalNS float64, spec policy.Spec) (oldPol, newPol fleet.Policy) {
+	p := core.DefaultParams()
+	p.IntervalNS = intervalNS
+	p.ThresholdMissLowPerSec /= scale
+	p.SaneRateMax /= scale
+	iat := policy.Spec{Kind: policy.KindIAT}
+	oldPol = fleet.Policy{Name: "iat", Params: p, Spec: &iat}
+	newPol = fleet.Policy{Name: spec.String(), Params: p, Spec: &spec}
+	return oldPol, newPol
+}
+
 // FleetPlan builds the rollout plan for o (defaults from fleet.Plan).
+// With o.Policy set, the plan stages a decision-engine change; otherwise
+// it stages the classic DDIO-budget tightening.
 func FleetPlan(o FleetOpts) (fleet.Plan, error) {
 	strat, err := fleet.StrategyByName(o.Rollout)
 	if err != nil {
 		return fleet.Plan{}, err
 	}
-	oldPol, newPol := FleetPolicies(o.Scale, o.IntervalNS)
+	var oldPol, newPol fleet.Policy
+	if o.Policy != "" {
+		spec, err := policy.ParseSpec(o.Policy)
+		if err != nil {
+			return fleet.Plan{}, err
+		}
+		oldPol, newPol = FleetEnginePolicies(o.Scale, o.IntervalNS, spec)
+	} else {
+		oldPol, newPol = FleetPolicies(o.Scale, o.IntervalNS)
+	}
 	return fleet.Plan{Strategy: strat, Old: oldPol, New: newPol}, nil
 }
 

@@ -141,10 +141,16 @@ func (h *Host) DisarmStorm() {
 func (h *Host) StormActive() bool { return h.storm != nil }
 
 // ApplyPolicy switches the host's daemon to pol and records it in the
-// policy history.
+// policy history. A non-nil Spec also swaps the daemon's decision
+// engine; a nil Spec leaves the current engine running.
 func (h *Host) ApplyPolicy(pol Policy) error {
 	if err := h.Daemon.SetParams(pol.Params); err != nil {
 		return fmt.Errorf("fleet: %s: apply policy %q: %w", h.Name, pol.Name, err)
+	}
+	if pol.Spec != nil {
+		if err := h.Daemon.SetPolicy(pol.Spec.New()); err != nil {
+			return fmt.Errorf("fleet: %s: apply policy %q: %w", h.Name, pol.Name, err)
+		}
 	}
 	h.policy = pol
 	h.history = append(h.history, pol.Name)

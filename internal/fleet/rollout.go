@@ -5,14 +5,22 @@ import (
 	"math"
 
 	"iatsim/internal/core"
+	"iatsim/internal/policy"
 )
 
-// Policy is a named daemon parameter set the control plane can roll out
-// (DDIO way budget, thresholds, polling interval — anything in
-// core.Params).
+// Policy is a named daemon configuration the control plane can roll out:
+// a parameter set (DDIO way budget, thresholds, polling interval —
+// anything in core.Params) and, optionally, a decision-engine change. A
+// nil Spec leaves the host's engine alone, so parameter-only rollouts
+// behave exactly as before the policy engine existed.
 type Policy struct {
 	Name   string
 	Params core.Params
+	// Spec, when non-nil, switches the host daemon's decision engine
+	// (e.g. IAT -> static:2) as part of applying this policy. Plans that
+	// stage an engine change must set Spec on BOTH Old and New, so a
+	// rollback reverts the engine too.
+	Spec *policy.Spec
 }
 
 // Strategy selects how a rollout expands across the fleet.

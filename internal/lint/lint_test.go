@@ -230,6 +230,24 @@ func TestLintCoversFleet(t *testing.T) {
 	checkAgainstMarkers(t, "fleetagg", loadFixture(t, "fleetagg", "iatsim/internal/fleet"))
 }
 
+func TestLintCoversPolicy(t *testing.T) {
+	// internal/policy is fully inside statelint's scope: its Kind and
+	// State enums are //simlint:enum-marked, so a dispatch switch that
+	// forgets a policy kind is flagged under the real import path...
+	findings := loadFixture(t, "policybad", "iatsim/internal/policy")
+	checkAgainstMarkers(t, "policybad", findings)
+	for _, f := range active(findings) {
+		if !strings.Contains(f.Message, "KindGreedy") {
+			t.Errorf("finding should name the missing member KindGreedy: %s", f)
+		}
+	}
+	// ...while the shapes the package actually ships — exhaustive
+	// dispatch and the defaulted String() fallback — stay clean.
+	if got := active(loadFixture(t, "policyok", "iatsim/internal/policy")); len(got) != 0 {
+		t.Fatalf("policyok should be clean, got %v", got)
+	}
+}
+
 func TestMapOrderCatchesSeededViolations(t *testing.T) {
 	checkAgainstMarkers(t, "mapbad", loadFixture(t, "mapbad", "iatsim/internal/mapbad"))
 }

@@ -1,0 +1,33 @@
+// Package policybad mirrors the policy engine's Kind enum and forgets a
+// member in a dispatch switch — the silently-unroutable-policy bug
+// statelint exists to catch. The fixture tests load it under the
+// iatsim/internal/policy import path to prove the policy package sits
+// inside statelint's enforcement scope.
+package policybad
+
+// Kind enumerates the allocation policy engines, like the real one.
+//
+//simlint:enum
+type Kind int
+
+// Kinds.
+const (
+	KindIAT Kind = iota
+	KindStatic
+	KindIOCA
+	KindGreedy
+)
+
+// Dispatch forgets KindGreedy, so a greedy spec would silently fall
+// through to the zero value.
+func Dispatch(k Kind) string {
+	switch k { // want statelint
+	case KindIAT:
+		return "iat"
+	case KindStatic:
+		return "static"
+	case KindIOCA:
+		return "ioca"
+	}
+	return ""
+}

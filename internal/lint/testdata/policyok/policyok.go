@@ -1,0 +1,51 @@
+// Package policyok covers the policy-engine switch shapes statelint must
+// stay silent on: the exhaustive Kind dispatch and the defaulted
+// String() with its out-of-range fallback — the exact shapes
+// internal/policy ships.
+package policyok
+
+import "fmt"
+
+// Kind enumerates the allocation policy engines, like the real one.
+//
+//simlint:enum
+type Kind int
+
+// Kinds.
+const (
+	KindIAT Kind = iota
+	KindStatic
+	KindIOCA
+	KindGreedy
+)
+
+// New dispatches exhaustively: every kind has a constructor arm.
+func New(k Kind) string {
+	switch k {
+	case KindIAT:
+		return "new-iat"
+	case KindStatic:
+		return "new-static"
+	case KindIOCA:
+		return "new-ioca"
+	case KindGreedy:
+		return "new-greedy"
+	}
+	return ""
+}
+
+// String uses the defaulted shape with the out-of-range fallback.
+func (k Kind) String() string {
+	switch k {
+	case KindIAT:
+		return "iat"
+	case KindStatic:
+		return "static"
+	case KindIOCA:
+		return "ioca"
+	case KindGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}

@@ -1,0 +1,320 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindString pins the flag-level names and the out-of-range default
+// branch (a corrupted kind must render its raw value, not crash).
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindIAT: "iat", KindStatic: "static", KindIOCA: "ioca", KindGreedy: "greedy",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("Kind(9).String() = %q, want Kind(9)", got)
+	}
+}
+
+// TestParseSpecRoundTrip: every valid syntax parses, re-renders via
+// Spec.String into something that parses to the same spec, and builds a
+// policy of the matching kind and name.
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		text string
+		kind Kind
+		name string
+	}{
+		{"iat", KindIAT, "iat"},
+		{"static", KindStatic, "static:2"}, // bare static = hardware default
+		{"static:4", KindStatic, "static:4"},
+		{"ioca", KindIOCA, "ioca"},
+		{"greedy", KindGreedy, "greedy"},
+	}
+	for _, c := range cases {
+		sp, err := ParseSpec(c.text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.text, err)
+		}
+		if sp.Kind != c.kind {
+			t.Errorf("ParseSpec(%q).Kind = %v, want %v", c.text, sp.Kind, c.kind)
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil || again != sp {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", c.text, sp.String(), again, err)
+		}
+		p := sp.New()
+		if p.Kind() != c.kind || p.Name() != c.name {
+			t.Errorf("ParseSpec(%q).New() = kind %v name %q, want %v %q",
+				c.text, p.Kind(), p.Name(), c.kind, c.name)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, text := range []string{"", "bogus", "static:", "static:x", "static:0", "static:33", "STATIC:2", "iat "} {
+		if sp, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", text, sp)
+		}
+	}
+	// The unknown-policy error must teach the valid syntaxes.
+	_, err := ParseSpec("bogus")
+	if err == nil || !strings.Contains(err.Error(), "static[:WAYS]") {
+		t.Errorf("unknown-policy error %v does not list valid specs", err)
+	}
+}
+
+func TestParseShadowSpecs(t *testing.T) {
+	if specs, err := ParseShadowSpecs(""); err != nil || specs != nil {
+		t.Fatalf("empty = %v, %v", specs, err)
+	}
+	if specs, err := ParseShadowSpecs("   "); err != nil || specs != nil {
+		t.Fatalf("blank = %v, %v", specs, err)
+	}
+	// Order preserved, whitespace trimmed, empty elements skipped.
+	specs, err := ParseShadowSpecs(" static:3 ,, greedy ")
+	if err != nil || len(specs) != 2 || specs[0].String() != "static:3" || specs[1].String() != "greedy" {
+		t.Fatalf("list = %+v, %v", specs, err)
+	}
+	// Duplicates are rejected by canonical name — "static" and "static:2"
+	// are the same shadow.
+	if _, err := ParseShadowSpecs("static,static:2"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("aliased duplicate accepted: %v", err)
+	}
+	if _, err := ParseShadowSpecs("iat,iat"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	// One bad element fails the whole list.
+	if _, err := ParseShadowSpecs("greedy,bogus"); err == nil {
+		t.Fatal("bad element accepted")
+	}
+}
+
+// TestClassify drives every decision class — Classify is the agreement
+// unit of shadow evaluation, so its precedence order (warmup > stable >
+// shuffle > ddio > tenant > hold) is part of the contract.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		a    Actions
+		want string
+	}{
+		{Actions{Warmup: true}, "warmup"},
+		{Actions{Stable: true, DDIOWays: 2}, "stable"},
+		{Actions{TryShuffle: true, DDIOWays: 2}, "shuffle"},
+		{Actions{DDIOWays: 3}, "grow-ddio"},
+		{Actions{DDIOWays: 1}, "shrink-ddio"},
+		{Actions{DDIOWays: 2, Grow: []int{1}}, "grow-tenant"},
+		{Actions{DDIOWays: 2, Shrink: []int{1}}, "shrink-tenant"},
+		{Actions{DDIOWays: 2}, "hold"},
+	}
+	for _, c := range cases {
+		if got := Classify(c.a, 2); got != c.want {
+			t.Errorf("Classify(%+v, 2) = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+// TestStaticConvergesThenHolds: one corrective move to the target, then
+// stable forever; the target clamps into the configured DDIO bounds.
+func TestStaticConvergesThenHolds(t *testing.T) {
+	p := NewStatic(4)
+	p.Observe(sample(LowKeep, 2, 0))
+	a := p.Decide()
+	if a.Stable || a.DDIOWays != 4 || a.State != LowKeep || a.Desc != "static: ddio=4" {
+		t.Fatalf("corrective move = %+v", a)
+	}
+	p.Observe(sample(LowKeep, 4, 0))
+	if a := p.Decide(); !a.Stable || a.DDIOWays != 4 || a.Desc != "stable" {
+		t.Fatalf("at target = %+v", a)
+	}
+	h := p.Health()
+	if h.Ticks != 2 || h.GrowDDIO != 1 || h.Stable != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestStaticClampsAndRespectsDisable(t *testing.T) {
+	// A target above DDIOWaysMax clamps down; below DDIOWaysMin clamps up.
+	p := NewStatic(9)
+	p.Observe(sample(LowKeep, 2, 0))
+	if a := p.Decide(); a.DDIOWays != limits().DDIOWaysMax {
+		t.Fatalf("over-max target = %+v", a)
+	}
+	lo := NewStatic(1)
+	s := sample(LowKeep, 3, 0)
+	s.Limits.DDIOWaysMin = 2
+	lo.Observe(s)
+	if a := lo.Decide(); a.DDIOWays != 2 {
+		t.Fatalf("under-min target = %+v", a)
+	}
+	// NewStatic(0) falls back to the hardware default.
+	if NewStatic(0).Name() != "static:2" {
+		t.Fatal("zero ways did not default")
+	}
+	// With DDIO adjustment disabled the policy may only hold.
+	q := NewStatic(4)
+	s = sample(LowKeep, 2, 0)
+	s.Limits.DisableDDIOAdjust = true
+	q.Observe(s)
+	if a := q.Decide(); !a.Stable || a.DDIOWays != 2 {
+		t.Fatalf("disabled adjust still moved: %+v", a)
+	}
+}
+
+// iocaSample builds a sample with an explicit DDIO hit/miss split so the
+// miss ratio (and the absolute pressing gate) can be placed precisely.
+func iocaSample(ddio int, hitPS, missPS float64) Sample {
+	s := sample(LowKeep, ddio, missPS)
+	s.DDIOHitPS = hitPS
+	return s
+}
+
+// TestIOCAPatience: a single contended interval is not enough; the second
+// consecutive one grows DDIO by one, entering High Keep at the max bound.
+func TestIOCAPatience(t *testing.T) {
+	p := NewIOCAStyle()
+	hot := iocaSample(2, 1e7, 5e6) // ratio 0.33, pressing
+	p.Observe(hot)
+	if a := p.Decide(); !a.Stable {
+		t.Fatalf("one hot interval already acted: %+v", a)
+	}
+	p.Observe(hot)
+	a := p.Decide()
+	if a.DDIOWays != 3 || a.State != IODemand || !strings.HasPrefix(a.Desc, "ioca: contended") {
+		t.Fatalf("second hot interval = %+v", a)
+	}
+	// At max-1 the grow enters High Keep.
+	q := NewIOCAStyle()
+	edge := iocaSample(limits().DDIOWaysMax-1, 1e7, 5e6)
+	q.Observe(edge)
+	q.Decide()
+	q.Observe(edge)
+	if a := q.Decide(); a.DDIOWays != limits().DDIOWaysMax || a.State != HighKeep {
+		t.Fatalf("grow at max boundary = %+v", a)
+	}
+	// At max, even a sustained hot streak holds.
+	q.Observe(iocaSample(limits().DDIOWaysMax, 1e7, 5e6))
+	if a := q.Decide(); !a.Stable {
+		t.Fatalf("grew past max: %+v", a)
+	}
+}
+
+// TestIOCAQuietShrinks: two quiet intervals shrink by one (Reclaim),
+// entering Low Keep at the min bound and holding there.
+func TestIOCAQuietShrinks(t *testing.T) {
+	p := NewIOCAStyle()
+	quiet := iocaSample(3, 1e7, 1e3) // not pressing
+	p.Observe(quiet)
+	p.Decide()
+	p.Observe(quiet)
+	a := p.Decide()
+	if a.DDIOWays != 2 || a.State != Reclaim || !strings.HasPrefix(a.Desc, "ioca: quiet") {
+		t.Fatalf("second quiet interval = %+v", a)
+	}
+	p.Observe(iocaSample(2, 1e7, 1e3))
+	if a := p.Decide(); a.DDIOWays != 1 || a.State != LowKeep {
+		t.Fatalf("shrink to min = %+v", a)
+	}
+	p.Observe(iocaSample(1, 1e7, 1e3))
+	if a := p.Decide(); !a.Stable {
+		t.Fatalf("shrank below min: %+v", a)
+	}
+}
+
+// TestIOCABandStallsStreaks: an interval inside the hysteresis band
+// (pressing, ratio between low and high) freezes both streaks without
+// resetting them — one borderline sample must not erase evidence — while
+// Reset() does restart them.
+func TestIOCABandStallsStreaks(t *testing.T) {
+	p := NewIOCAStyle()
+	hot := iocaSample(2, 1e7, 5e6)   // ratio 0.33
+	band := iocaSample(2, 14e6, 2e6) // ratio 0.125, pressing
+	p.Observe(hot)
+	p.Decide()
+	p.Observe(band)
+	if a := p.Decide(); !a.Stable {
+		t.Fatalf("band interval acted: %+v", a)
+	}
+	p.Observe(hot)
+	if a := p.Decide(); a.DDIOWays != 3 {
+		t.Fatalf("streak was erased by the band interval: %+v", a)
+	}
+
+	q := NewIOCAStyle()
+	q.Observe(hot)
+	q.Decide()
+	q.Reset()
+	q.Observe(hot)
+	if a := q.Decide(); !a.Stable {
+		t.Fatalf("Reset did not restart the streak: %+v", a)
+	}
+}
+
+// TestGreedyDemandSelection pins the tie-break contract: DDIO is
+// considered first and wins exact ties; tenant groups compete by strict >
+// in registration order.
+func TestGreedyDemandSelection(t *testing.T) {
+	p := NewGreedy()
+
+	// Idle (all rates at or under the noise floor): hold.
+	idle := sample(LowKeep, 2, limits().ThresholdMissLowPerSec/10)
+	p.Observe(idle)
+	if a := p.Decide(); !a.Stable || a.Desc != "stable" {
+		t.Fatalf("idle = %+v", a)
+	}
+
+	// DDIO wins an exact tie with a tenant group.
+	s := sample(LowKeep, 2, 5e6)
+	s.Groups = []GroupView{{CLOS: 1, Width: 2, MissPS: 5e6}}
+	p.Observe(s)
+	a := p.Decide()
+	if a.DDIOWays != 3 || a.State != IODemand || len(a.Grow) != 0 || a.Desc != "greedy: ddio=3" {
+		t.Fatalf("ddio tie = %+v", a)
+	}
+
+	// A strictly louder group beats DDIO; equal groups tie-break to the
+	// first registered.
+	s = sample(LowKeep, 2, 5e6)
+	s.Groups = []GroupView{
+		{CLOS: 4, Width: 2, MissPS: 6e6},
+		{CLOS: 1, Width: 2, MissPS: 6e6},
+	}
+	p.Observe(s)
+	a = p.Decide()
+	if a.State != CoreDemand || len(a.Grow) != 1 || a.Grow[0] != 4 || a.Desc != "greedy: +1 way clos 4" {
+		t.Fatalf("group demand = %+v", a)
+	}
+}
+
+func TestGreedySaturation(t *testing.T) {
+	p := NewGreedy()
+
+	// DDIO at max: demand can only hold in High Keep.
+	s := sample(HighKeep, limits().DDIOWaysMax, 5e6)
+	p.Observe(s)
+	if a := p.Decide(); a.State != HighKeep || a.DDIOWays != limits().DDIOWaysMax || a.Desc != "greedy: ddio saturated" {
+		t.Fatalf("ddio saturated = %+v", a)
+	}
+	// Grow into High Keep at max-1.
+	s = sample(IODemand, limits().DDIOWaysMax-1, 5e6)
+	p.Observe(s)
+	if a := p.Decide(); a.State != HighKeep || a.DDIOWays != limits().DDIOWaysMax {
+		t.Fatalf("grow to max = %+v", a)
+	}
+
+	// Tenant widths filling the cache: no way left to grant.
+	s = sample(LowKeep, 2, 0)
+	s.Groups = []GroupView{
+		{CLOS: 1, Width: 6, MissPS: 6e6},
+		{CLOS: 2, Width: 5, MissPS: 1e5},
+	}
+	p.Observe(s)
+	if a := p.Decide(); a.Desc != "greedy: tenants saturated" || len(a.Grow) != 0 {
+		t.Fatalf("tenants saturated = %+v", a)
+	}
+}

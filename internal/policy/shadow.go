@@ -1,0 +1,310 @@
+package policy
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"iatsim/internal/cache"
+	"iatsim/internal/telemetry"
+)
+
+// DefaultMaxRows bounds the per-tick divergence log of an Evaluator so an
+// unbounded run cannot grow memory without limit; overflow rows are
+// counted in Dropped() instead of silently lost.
+const DefaultMaxRows = 100000
+
+// DivergenceRow is one shadow's counterfactual decision on one tick,
+// compared with the active policy's applied decision.
+type DivergenceRow struct {
+	TimeNS      float64
+	Policy      string
+	ActiveClass string // Classify() of the applied decision
+	ShadowClass string // Classify() of the counterfactual decision
+	Agree       bool   // same decision class
+	ActiveDDIO  int    // DDIO ways after the applied decision
+	ShadowDDIO  int    // DDIO ways in the shadow's counterfactual machine
+	Hamming     int    // bit distance between applied and shadow DDIO masks
+	ShadowDesc  string
+}
+
+// ShadowSummary aggregates one shadow policy over a run.
+type ShadowSummary struct {
+	Name              string
+	Ticks             uint64
+	Agreements        uint64
+	WouldGrowDDIO     uint64
+	WouldShrinkDDIO   uint64
+	WouldGrowTenant   uint64
+	WouldShrinkTenant uint64
+	HammingTotal      uint64
+	FinalDDIO         int
+}
+
+// AgreeRate is the decision-agreement fraction (1 when no ticks ran).
+func (s ShadowSummary) AgreeRate() float64 {
+	if s.Ticks == 0 {
+		return 1
+	}
+	return float64(s.Agreements) / float64(s.Ticks)
+}
+
+// MeanHamming is the mean DDIO-mask bit distance per tick.
+func (s ShadowSummary) MeanHamming() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.HammingTotal) / float64(s.Ticks)
+}
+
+// shadowState is one shadow policy plus its counterfactual machine: the
+// allocation state the system WOULD hold had this policy been active from
+// the first tick. Only bookkeeping — no register is ever programmed from
+// here.
+type shadowState struct {
+	pol   Policy
+	init  bool
+	state State
+	ddio  int
+	width map[int]int // CLOS -> counterfactual width
+	sum   ShadowSummary
+}
+
+// Evaluator runs N candidate policies side-by-side on the active daemon's
+// sample stream. Each accepted sample is re-based into every shadow's
+// counterfactual allocation state (its own DDIO way count, its own tenant
+// widths, contiguously repacked masks), the shadow decides, the decision
+// is committed to the counterfactual machine only, and the divergence
+// from the applied decision is recorded — per-tick rows, running
+// summaries, and policy/* telemetry counters. The evaluator is driven
+// synchronously from the daemon's iteration, so it inherits the daemon's
+// determinism: same seed, same shadows, same rows.
+type Evaluator struct {
+	// Tel, when set, receives policy/* counters and gauges per shadow
+	// (scope = shadow policy name).
+	Tel telemetry.Sink
+
+	shadows []*shadowState
+	rows    []DivergenceRow
+	maxRows int
+	dropped uint64
+}
+
+// NewEvaluator builds an evaluator running one shadow per spec.
+func NewEvaluator(specs []Spec) *Evaluator {
+	e := &Evaluator{maxRows: DefaultMaxRows}
+	for _, sp := range specs {
+		sh := &shadowState{pol: sp.New(), width: map[int]int{}}
+		sh.sum.Name = sh.pol.Name()
+		e.shadows = append(e.shadows, sh)
+	}
+	return e
+}
+
+// Empty reports whether the evaluator has no shadows.
+func (e *Evaluator) Empty() bool { return e == nil || len(e.shadows) == 0 }
+
+// Reset forwards a daemon reset (tenant change, degradation) to every
+// shadow: counterfactual layouts re-adopt the machine state on the next
+// tick and the policies drop their baselines. Summaries and rows persist.
+func (e *Evaluator) Reset() {
+	for _, sh := range e.shadows {
+		sh.init = false
+		sh.pol.Reset()
+	}
+}
+
+// Tick evaluates every shadow against sample s. active is the decision the
+// daemon executed and appliedDDIO the DDIO mask programmed after it; both
+// are only read, never re-applied.
+func (e *Evaluator) Tick(s Sample, active Actions, appliedDDIO cache.WayMask) {
+	activeClass := Classify(active, s.DDIOWays)
+	for _, sh := range e.shadows {
+		if !sh.init {
+			// Adopt the machine's real allocation as the counterfactual
+			// starting point.
+			sh.state = s.State
+			sh.ddio = s.DDIOWays
+			for clos := range sh.width {
+				delete(sh.width, clos)
+			}
+			for i := range s.Groups {
+				sh.width[s.Groups[i].CLOS] = s.Groups[i].Width
+			}
+			sh.init = true
+		}
+		cs := e.rebase(s, sh)
+		sh.pol.Observe(cs)
+		a := sh.pol.Decide()
+		e.commit(sh, cs, a)
+
+		shadowClass := Classify(a, cs.DDIOWays)
+		agree := shadowClass == activeClass
+		shadowMask := cache.ContiguousMask(s.NumWays-sh.ddio, sh.ddio)
+		hamming := bits.OnesCount32(uint32(appliedDDIO ^ shadowMask))
+
+		sh.sum.Ticks++
+		if agree {
+			sh.sum.Agreements++
+		}
+		if a.DDIOWays > cs.DDIOWays {
+			sh.sum.WouldGrowDDIO++
+		}
+		if a.DDIOWays < cs.DDIOWays {
+			sh.sum.WouldShrinkDDIO++
+		}
+		if len(a.Grow) > 0 {
+			sh.sum.WouldGrowTenant++
+		}
+		if len(a.Shrink) > 0 {
+			sh.sum.WouldShrinkTenant++
+		}
+		sh.sum.HammingTotal += uint64(hamming)
+		sh.sum.FinalDDIO = sh.ddio
+
+		if e.Tel != nil {
+			name := sh.pol.Name()
+			e.Tel.Counter("policy", name, "shadow_ticks").Inc()
+			if agree {
+				e.Tel.Counter("policy", name, "shadow_agreements").Inc()
+			}
+			if a.DDIOWays > cs.DDIOWays {
+				e.Tel.Counter("policy", name, "shadow_would_grow_ddio").Inc()
+			}
+			if a.DDIOWays < cs.DDIOWays {
+				e.Tel.Counter("policy", name, "shadow_would_shrink_ddio").Inc()
+			}
+			if len(a.Grow) > 0 {
+				e.Tel.Counter("policy", name, "shadow_would_grow_tenant").Inc()
+			}
+			if len(a.Shrink) > 0 {
+				e.Tel.Counter("policy", name, "shadow_would_shrink_tenant").Inc()
+			}
+			e.Tel.Counter("policy", name, "shadow_hamming_total").Add(uint64(hamming))
+			e.Tel.Gauge("policy", name, "shadow_ddio_ways").Set(float64(sh.ddio))
+		}
+
+		if len(e.rows) < e.maxRows {
+			e.rows = append(e.rows, DivergenceRow{
+				TimeNS:      s.NowNS,
+				Policy:      sh.pol.Name(),
+				ActiveClass: activeClass,
+				ShadowClass: shadowClass,
+				Agree:       agree,
+				ActiveDDIO:  active.DDIOWays,
+				ShadowDDIO:  sh.ddio,
+				Hamming:     hamming,
+				ShadowDesc:  a.Desc,
+			})
+		} else {
+			e.dropped++
+		}
+	}
+}
+
+// rebase rewrites sample s into shadow sh's counterfactual allocation:
+// the shadow's FSM state, DDIO ways/mask, and tenant widths with masks
+// repacked contiguously bottom-up in registration order (an approximation
+// of the daemon's priority packing — shadow masks only feed overlap
+// checks and Hamming distances, no register).
+func (e *Evaluator) rebase(s Sample, sh *shadowState) Sample {
+	cs := s
+	cs.State = sh.state
+	cs.DDIOWays = sh.ddio
+	cs.DDIOMask = cache.ContiguousMask(s.NumWays-sh.ddio, sh.ddio)
+	cs.Groups = make([]GroupView, len(s.Groups))
+	lo := 0
+	for i := range s.Groups {
+		g := s.Groups[i]
+		w, ok := sh.width[g.CLOS]
+		if !ok {
+			// A group registered after adoption (tenant add without the
+			// daemon-level Reset firing first): take its machine width.
+			w = g.Width
+			sh.width[g.CLOS] = w
+		}
+		if w < 1 {
+			w = 1
+		}
+		if lo+w > s.NumWays {
+			w = s.NumWays - lo
+			if w < 1 {
+				w = 1
+			}
+		}
+		g.Width = w
+		g.Mask = cache.ContiguousMask(lo, w)
+		lo += w
+		cs.Groups[i] = g
+	}
+	return cs
+}
+
+// commit applies decision a to the shadow's counterfactual machine,
+// mirroring the daemon's execution semantics: a shuffle is assumed to
+// succeed (its fallback never runs), grow/shrink are capacity-bounded,
+// and the DDIO target is clamped to the physical way range.
+func (e *Evaluator) commit(sh *shadowState, cs Sample, a Actions) {
+	sh.state = a.State
+	if a.Warmup || a.Stable || a.TryShuffle {
+		return
+	}
+	L := cs.Limits
+	if !L.DisableTenantAdjust {
+		for _, clos := range a.Grow {
+			if _, ok := sh.width[clos]; ok && cs.totalWidth()+1 <= cs.NumWays {
+				sh.width[clos]++
+			}
+		}
+		for _, clos := range a.Shrink {
+			if w, ok := sh.width[clos]; ok && w > 1 {
+				sh.width[clos] = w - 1
+			}
+		}
+	}
+	if !L.DisableDDIOAdjust {
+		t := a.DDIOWays
+		if t < 1 {
+			t = 1
+		}
+		if t > cs.NumWays {
+			t = cs.NumWays
+		}
+		sh.ddio = t
+	}
+}
+
+// Rows returns the recorded divergence rows (shared slice; do not mutate).
+func (e *Evaluator) Rows() []DivergenceRow { return e.rows }
+
+// Dropped returns how many rows overflowed the bound.
+func (e *Evaluator) Dropped() uint64 { return e.dropped }
+
+// Summaries returns one aggregate per shadow, in shadow registration
+// order (the -shadow flag's order).
+func (e *Evaluator) Summaries() []ShadowSummary {
+	out := make([]ShadowSummary, 0, len(e.shadows))
+	for _, sh := range e.shadows {
+		out = append(out, sh.sum)
+	}
+	return out
+}
+
+// WriteCSV writes the per-tick divergence log.
+func (e *Evaluator) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ns,policy,active_class,shadow_class,agree,active_ddio,shadow_ddio,hamming,shadow_desc"); err != nil {
+		return err
+	}
+	for _, r := range e.rows {
+		agree := 0
+		if r.Agree {
+			agree = 1
+		}
+		if _, err := fmt.Fprintf(w, "%.0f,%s,%s,%s,%d,%d,%d,%d,%s\n",
+			r.TimeNS, r.Policy, r.ActiveClass, r.ShadowClass, agree,
+			r.ActiveDDIO, r.ShadowDDIO, r.Hamming, r.ShadowDesc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

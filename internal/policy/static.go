@@ -1,0 +1,63 @@
+package policy
+
+import "fmt"
+
+// DefaultStaticWays is the DDIO way count of a bare "static" spec — the
+// hardware default of two DDIO ways the paper's motivation experiments
+// run against.
+const DefaultStaticWays = 2
+
+// Static is the no-op baseline manager: it pins DDIO to a fixed way count
+// (clamped into the configured bounds) and never moves tenant
+// allocations. Against it, every adaptive policy's wins and losses are
+// measured — it is also what a fleet effectively runs before any I/O-aware
+// daemon is deployed.
+type Static struct {
+	ways int
+	cur  Sample
+	h    Health
+}
+
+// NewStatic returns a fixed-allocation policy holding ways DDIO ways.
+func NewStatic(ways int) *Static {
+	if ways < 1 {
+		ways = DefaultStaticWays
+	}
+	return &Static{ways: ways}
+}
+
+// Name implements Policy.
+func (p *Static) Name() string { return fmt.Sprintf("static:%d", p.ways) }
+
+// Kind implements Policy.
+func (p *Static) Kind() Kind { return KindStatic }
+
+// Health implements Policy.
+func (p *Static) Health() Health { return p.h }
+
+// Reset implements Policy (stateless beyond the target).
+func (p *Static) Reset() {}
+
+// Observe implements Policy.
+func (p *Static) Observe(s Sample) { p.cur = s }
+
+// Decide implements Policy: converge to the fixed target, then hold.
+func (p *Static) Decide() Actions {
+	s := p.cur
+	p.h.Ticks++
+	target := p.ways
+	if target < s.Limits.DDIOWaysMin {
+		target = s.Limits.DDIOWaysMin
+	}
+	if target > s.Limits.DDIOWaysMax {
+		target = s.Limits.DDIOWaysMax
+	}
+	var a Actions
+	if !s.Limits.DisableDDIOAdjust && target != s.DDIOWays {
+		a = Actions{State: LowKeep, DDIOWays: target, Desc: fmt.Sprintf("static: ddio=%d", target)}
+	} else {
+		a = Actions{Stable: true, State: LowKeep, DDIOWays: s.DDIOWays, Desc: "stable"}
+	}
+	p.h.note(a, s.DDIOWays)
+	return a
+}

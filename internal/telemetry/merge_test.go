@@ -106,6 +106,78 @@ func TestMergeDisjointSetsIsUnion(t *testing.T) {
 	}
 }
 
+// TestMergeKeyCollisions pins the collision semantics: metrics collide
+// (and sum) only on the full (subsystem, scope, name) key — the same
+// subsystem/name under different scopes are distinct rows, which is what
+// lets per-policy shadow counters survive a fleet-wide merge.
+func TestMergeKeyCollisions(t *testing.T) {
+	mk := func(scope string, n uint64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("policy", scope, "shadow_ticks").Add(n)
+		return r.Snapshot(0)
+	}
+	m, err := Merge(0, mk("greedy", 3), mk("static:2", 5), mk("greedy", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Metrics) != 2 {
+		t.Fatalf("merge has %d metrics, want 2 (one per scope): %+v", len(m.Metrics), m.Metrics)
+	}
+	byKey := map[Key]uint64{}
+	for _, mm := range m.Metrics {
+		byKey[mm.Key()] = mm.Counter
+	}
+	if byKey[Key{"policy", "greedy", "shadow_ticks"}] != 7 {
+		t.Errorf("colliding keys did not sum: %+v", byKey)
+	}
+	if byKey[Key{"policy", "static:2", "shadow_ticks"}] != 5 {
+		t.Errorf("distinct scope was not kept separate: %+v", byKey)
+	}
+}
+
+// TestMergeEmptyInputs: merges of nothing — no snapshots, nil snapshots,
+// snapshots of never-written registries — yield a valid empty snapshot,
+// and an empty input never perturbs a real one.
+func TestMergeEmptyInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		snaps []*Snapshot
+	}{
+		{"no snapshots", nil},
+		{"all nil", []*Snapshot{nil, nil}},
+		{"empty registries", []*Snapshot{NewRegistry().Snapshot(0), NewRegistry().Snapshot(0)}},
+	} {
+		m, err := Merge(3e9, tc.snaps...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(m.Metrics) != 0 || m.TimeNS != 3e9 {
+			t.Fatalf("%s: merged = %+v, want empty at 3e9", tc.name, m)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+
+	// Empty + real = real, byte-for-byte on the metric rows.
+	r := NewRegistry()
+	r.Counter("cache", "", "hits").Add(9)
+	r.Gauge("nic", "", "occ").Set(1.5)
+	real := r.Snapshot(1e9)
+	m, err := Merge(1e9, NewRegistry().Snapshot(0), real, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Metrics) != len(real.Metrics) {
+		t.Fatalf("empty input changed the row count: %d vs %d", len(m.Metrics), len(real.Metrics))
+	}
+	for i := range m.Metrics {
+		if m.Metrics[i].Key() != real.Metrics[i].Key() || m.Metrics[i].Counter != real.Metrics[i].Counter || m.Metrics[i].Gauge != real.Metrics[i].Gauge {
+			t.Fatalf("metric %d diverged: %+v vs %+v", i, m.Metrics[i], real.Metrics[i])
+		}
+	}
+}
+
 func TestMergeRejectsDivergentInstrumentation(t *testing.T) {
 	ra := NewRegistry()
 	ra.Histogram("mem", "", "lat", []float64{10}).Observe(1)
