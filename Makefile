@@ -7,9 +7,9 @@ GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: all build lint simlint lint-baseline vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke bench determinism scaling clean
+.PHONY: all build lint simlint lint-baseline vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke ckpt-smoke bench determinism scaling clean
 
-all: build lint test race telemetry-smoke chaos-smoke fleet-smoke
+all: build lint test race telemetry-smoke chaos-smoke fleet-smoke ckpt-smoke
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,37 @@ fleet-smoke: build
 	cmp $(TMP)/fleet1/hosts.json $(TMP)/fleetN/hosts.json
 	grep -q '"failures": 0' $(TMP)/fleetN/manifest.json
 	@echo "fleet-smoke OK: 32-host canary rollout, jobs=1 == jobs=8 under -race"
+
+# ckpt-smoke: the checkpoint/restore acceptance gate. An iatd run is
+# checkpointed every 3 iterations and killed mid-run by -crash-after
+# (the binary is built explicitly because `go run` masks the child's
+# exit 137 as its own exit 1), then resumed from the surviving
+# checkpoint. The resumed run's decision stream must be byte-identical
+# to the uninterrupted run's tail, its trace CSV byte-identical to the
+# uninterrupted run's (the muted replay re-records the prefix), and its
+# manifest must carry the resumed-from provenance. Then a fleet crash
+# storm with per-round host checkpoints must stay byte-identical at
+# -jobs 1 vs 8 under -race.
+CKPTFLAGS = -duration 4 -interval 0.2 -chaos default -chaos-seed 7
+CKPTFLEET = -hosts 8 -rollout canary -chaos heavy -chaos-seed 2 -checkpoint-every 1 -scale 3200 -round 0.2 -interval 0.05
+ckpt-smoke: build
+	rm -rf $(TMP)/ckpt && mkdir -p $(TMP)/ckpt/ck $(TMP)/ckpt/f1 $(TMP)/ckpt/f8
+	printf 'fwd0 0 2 pc io testpmd:1500\nbatch 1 2 be - xmem:4\n@0.6s batch xmem-ws 8\n' > $(TMP)/ckpt/tenants.conf
+	$(GO) build -o $(TMP)/ckpt/iatd ./cmd/iatd
+	$(TMP)/ckpt/iatd -tenants $(TMP)/ckpt/tenants.conf $(CKPTFLAGS) -trace $(TMP)/ckpt/full.csv > $(TMP)/ckpt/full.txt
+	$(TMP)/ckpt/iatd -tenants $(TMP)/ckpt/tenants.conf $(CKPTFLAGS) -checkpoint $(TMP)/ckpt/ck -checkpoint-every 3 -crash-after 10 > $(TMP)/ckpt/crashed.txt 2> $(TMP)/ckpt/crash.err; [ $$? -eq 137 ]
+	grep -q 'simulated crash after iteration 10' $(TMP)/ckpt/crash.err
+	$(TMP)/ckpt/iatd -tenants $(TMP)/ckpt/tenants.conf $(CKPTFLAGS) -resume $(TMP)/ckpt/ck/iatd.ckpt -trace $(TMP)/ckpt/resumed.csv -json $(TMP)/ckpt > $(TMP)/ckpt/resumed.txt
+	cmp $(TMP)/ckpt/full.csv $(TMP)/ckpt/resumed.csv
+	grep '^\[' $(TMP)/ckpt/full.txt | grep -v '] event:' | tail -n +10 > $(TMP)/ckpt/tail.want
+	grep '^\[' $(TMP)/ckpt/resumed.txt | grep -v '] event:' > $(TMP)/ckpt/tail.got
+	cmp $(TMP)/ckpt/tail.want $(TMP)/ckpt/tail.got
+	[ "$$(grep '^iatd: done;' $(TMP)/ckpt/full.txt)" = "$$(grep '^iatd: done;' $(TMP)/ckpt/resumed.txt)" ]
+	grep -q '"resumed_from"' $(TMP)/ckpt/manifest.json
+	$(GO) run -race ./cmd/fleetd $(CKPTFLEET) -jobs 1 -csv $(TMP)/ckpt/f1 > /dev/null
+	$(GO) run -race ./cmd/fleetd $(CKPTFLEET) -jobs 8 -csv $(TMP)/ckpt/f8 > /dev/null
+	cmp $(TMP)/ckpt/f1/fleet.csv $(TMP)/ckpt/f8/fleet.csv
+	@echo "ckpt-smoke OK: kill+resume tail == uninterrupted run; fleet crash storm jobs=1 == jobs=8 under -race"
 
 # bench: the micro-benchmark suite (cache access, NIC poll, daemon
 # iteration, policy decision, platform step, fleet round) via `go test

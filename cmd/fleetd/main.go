@@ -72,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 0, "base seed; per-host seeds and fault schedules derive from it")
 	chaos := fs.String("chaos", "", "arm a correlated fault storm on the canary cohort with this profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the storm's per-host fault schedules")
+	ckptEvery := fs.Int("checkpoint-every", 1, "checkpoint each up host's daemon after every Nth round (0 disables; hosts crashed by a storm then cold start)")
 	polFlag := fs.String("policy", "", "roll out a decision-engine change to this policy instead of the DDIO-budget tightening ("+strings.Join(policy.SpecNames(), ", ")+")")
 	shadowFlag := fs.String("shadow", "", "comma-separated shadow policies every host evaluates counterfactually each tick")
 	csvDir := fs.String("csv", "", "write the per-round aggregate rows as <dir>/fleet.csv")
@@ -100,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *jobs < 1 {
 		return usageError{fmt.Sprintf("-jobs must be >= 1 (got %d)", *jobs)}
+	}
+	if *ckptEvery < 0 {
+		return usageError{fmt.Sprintf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)}
 	}
 	valid := false
 	for _, t := range exp.TopologyNames() {
@@ -146,9 +150,16 @@ func run(args []string, stdout io.Writer) error {
 		Jobs: *jobs, Seed: *seed,
 		Selectors: []string{"fleet"},
 		Chaos:     *chaos, ChaosSeed: stormSeed,
+		CheckpointEvery: *ckptEvery,
 	})
 	exp.SetExec(exp.Exec{Jobs: *jobs, Seed: *seed, Manifest: manifest})
 
+	// FleetOpts treats 0 as "use the default cadence", so the flag's
+	// explicit 0 (checkpointing off) maps to the negative sentinel.
+	every := *ckptEvery
+	if every == 0 {
+		every = -1
+	}
 	tel := telemetry.NewRegistry()
 	rep, fleetHosts, err := exp.RunFleet(stdout, exp.FleetOpts{
 		Hosts: *hosts, Topology: *topology, Rollout: *rollout,
@@ -157,6 +168,7 @@ func run(args []string, stdout io.Writer) error {
 		Scale: *scale, Rounds: *rounds,
 		RoundNS: *roundSecs * 1e9, IntervalNS: *interval * 1e9,
 		Seed: *seed, Tel: tel,
+		CheckpointEvery: every,
 	})
 	if err != nil {
 		return err

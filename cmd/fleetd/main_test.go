@@ -128,6 +128,26 @@ func TestManifestRecordsChaos(t *testing.T) {
 	if m.Options.Chaos != "heavy" || m.Options.ChaosSeed != 7 {
 		t.Errorf("storm manifest records chaos=%q seed=%d, want heavy/7", m.Options.Chaos, m.Options.ChaosSeed)
 	}
+	if m.Options.CheckpointEvery != 1 {
+		t.Errorf("manifest checkpoint_every = %d, want the default 1", m.Options.CheckpointEvery)
+	}
+	m = readManifest("-checkpoint-every", "3")
+	if m.Options.CheckpointEvery != 3 {
+		t.Errorf("manifest checkpoint_every = %d, want 3", m.Options.CheckpointEvery)
+	}
+}
+
+// TestCheckpointEveryDisabled: -checkpoint-every 0 turns host
+// checkpointing off and the run still completes (hosts that die in a
+// storm cold start on rejoin).
+func TestCheckpointEveryDisabled(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(smokeArgs("-chaos", "heavy", "-checkpoint-every", "0"), &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fleetd: done;") {
+		t.Fatalf("run did not complete:\n%s", out.String())
+	}
 }
 
 // TestUsageErrors checks every invalid invocation fails with the exit-2
@@ -147,6 +167,7 @@ func TestUsageErrors(t *testing.T) {
 		{"-policy", "static:0"},
 		{"-shadow", "iat,iat"},
 		{"-shadow", "greedy,bogus"},
+		{"-checkpoint-every", "-1"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

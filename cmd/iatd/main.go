@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,8 +26,10 @@ import (
 
 	"iatsim/internal/bridge"
 	"iatsim/internal/cache"
+	"iatsim/internal/ckpt"
 	"iatsim/internal/core"
 	"iatsim/internal/faults"
+	"iatsim/internal/harness"
 	"iatsim/internal/nic"
 	"iatsim/internal/nvme"
 	"iatsim/internal/pkt"
@@ -46,12 +49,47 @@ type usageError struct{ msg string }
 
 func (e usageError) Error() string { return e.msg }
 
+// ckptFileName is the checkpoint file -checkpoint maintains inside its
+// directory; each write replaces it atomically (write-temp + rename).
+const ckptFileName = "iatd.ckpt"
+
+// crashError is the -crash-after panic sentinel: the run dies mid-flight
+// exactly as a real daemon crash would — no done line, no summaries, all
+// state beyond the last checkpoint lost. main maps it to exit 137 (the
+// SIGKILL convention) so scripts can tell a simulated crash from both
+// clean exits and usage errors.
+type crashError struct{ iter uint64 }
+
+func (e crashError) Error() string {
+	return fmt.Sprintf("simulated crash after iteration %d (state since the last checkpoint is lost)", e.iter)
+}
+
+// mutingWriter drops writes while muted. A resumed run replays the
+// simulation silently up to the checkpoint iteration, then unmutes, so
+// its output is byte-identical to an uninterrupted run's tail.
+type mutingWriter struct {
+	w     io.Writer
+	muted bool
+}
+
+func (m *mutingWriter) Write(p []byte) (int, error) {
+	if m.muted {
+		return len(p), nil
+	}
+	return m.w.Write(p)
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		var ue usageError
 		if errors.As(err, &ue) {
 			fmt.Fprintf(os.Stderr, "iatd: %v\n", err)
 			os.Exit(2)
+		}
+		var ce crashError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "iatd: %v\n", err)
+			os.Exit(137)
 		}
 		if err == flag.ErrHelp {
 			os.Exit(2)
@@ -76,6 +114,11 @@ func run(args []string, stdout io.Writer) error {
 	polFlag := fs.String("policy", "iat", "active allocation policy ("+strings.Join(policy.SpecNames(), ", ")+")")
 	shadowFlag := fs.String("shadow", "", "comma-separated shadow policies evaluated counterfactually each tick")
 	shadowCSV := fs.String("shadow-csv", "", "write the per-tick shadow divergence log to this CSV file (requires -shadow)")
+	ckptDir := fs.String("checkpoint", "", "maintain an atomic state checkpoint at <dir>/"+ckptFileName)
+	ckptEvery := fs.Int("checkpoint-every", 5, "iterations between checkpoint writes (requires -checkpoint)")
+	resumePath := fs.String("resume", "", "resume from this checkpoint file: replay silently to its iteration, verify, restore, continue")
+	crashAfter := fs.Uint64("crash-after", 0, "simulate a daemon crash immediately after this iteration (0 = never; exits 137)")
+	jsonDir := fs.String("json", "", "write the run manifest (with checkpoint provenance) as JSON into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +150,47 @@ func run(args []string, stdout io.Writer) error {
 			return usageError{fmt.Sprintf("-telemetry: %v", err)}
 		}
 	}
+	if *ckptDir != "" {
+		if err := ensureWritableDir(*ckptDir); err != nil {
+			return usageError{fmt.Sprintf("-checkpoint: %v", err)}
+		}
+	}
+	if *ckptEvery < 1 {
+		return usageError{fmt.Sprintf("-checkpoint-every must be >= 1 (got %d)", *ckptEvery)}
+	}
+	everySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "checkpoint-every" {
+			everySet = true
+		}
+	})
+	if everySet && *ckptDir == "" {
+		return usageError{"-checkpoint-every requires -checkpoint"}
+	}
+	if *jsonDir != "" {
+		if err := ensureWritableDir(*jsonDir); err != nil {
+			return usageError{fmt.Sprintf("-json: %v", err)}
+		}
+	}
+	// Read and validate the resume checkpoint before any simulation work:
+	// a missing file, corrupt envelope or future version must exit 2 up
+	// front, not after a multi-minute silent replay.
+	var resume *ckpt.Checkpoint
+	var resumeHash string
+	if *resumePath != "" {
+		c, err := ckpt.ReadFile(*resumePath)
+		if err != nil {
+			return usageError{fmt.Sprintf("-resume: %v", err)}
+		}
+		if c.Iteration == 0 {
+			return usageError{fmt.Sprintf("-resume: %s records no completed iteration", *resumePath)}
+		}
+		h, err := ckpt.FileHash(*resumePath)
+		if err != nil {
+			return err
+		}
+		resume, resumeHash = c, h
+	}
 	polSpec, err := policy.ParseSpec(*polFlag)
 	if err != nil {
 		return usageError{fmt.Sprintf("-policy: %v", err)}
@@ -118,15 +202,31 @@ func run(args []string, stdout io.Writer) error {
 	if *shadowCSV != "" && len(shadowSpecs) == 0 {
 		return usageError{"-shadow-csv requires -shadow"}
 	}
-	f, err := os.Open(*tenantsPath)
+	tenantData, err := os.ReadFile(*tenantsPath)
 	if err != nil {
 		return err
 	}
-	entries, events, err := tenantfile.ParseWithEvents(f)
-	f.Close()
+	entries, events, err := tenantfile.ParseWithEvents(bytes.NewReader(tenantData))
 	if err != nil {
 		return err
 	}
+	// cfgHash fingerprints everything the simulation's trajectory depends
+	// on. A checkpoint only resumes under the exact configuration that
+	// produced it — anything else would replay a different world and the
+	// state verification at the checkpoint iteration would fail anyway,
+	// after minutes instead of milliseconds.
+	cfgHash := ckpt.ConfigHash(string(tenantData),
+		fmtFlag(*duration), fmtFlag(*interval), fmtFlag(*scale),
+		*chaos, strconv.FormatInt(*chaosSeed, 10), *polFlag, *shadowFlag)
+	if resume != nil && resume.ConfigHash != cfgHash {
+		return usageError{fmt.Sprintf(
+			"-resume: checkpoint config hash %s does not match this invocation (%s); rerun with the tenant file and flags of the checkpointed run",
+			resume.ConfigHash, cfgHash)}
+	}
+
+	// All run output funnels through out so a resumed run can replay the
+	// pre-checkpoint iterations without printing them.
+	out := &mutingWriter{w: stdout}
 
 	p := sim.NewPlatform(sim.XeonGold6140(*scale))
 	var tel *telemetry.Registry
@@ -181,19 +281,6 @@ func run(args []string, stdout io.Writer) error {
 		}()
 		tracer = trace.NewWriter(tf)
 	}
-	daemon.OnIteration = func(it core.IterationInfo) {
-		if tracer != nil {
-			_ = tracer.Record(it)
-		}
-		if it.Stable {
-			fmt.Fprintf(stdout, "[%7.2fs] %-10s stable (ddio=%v hit/s=%.2e miss/s=%.2e)\n",
-				it.NowNS/1e9, it.State, it.DDIOMask, it.DDIOHitPS, it.DDIOMissPS)
-			return
-		}
-		fmt.Fprintf(stdout, "[%7.2fs] %-10s %-28s ddio=%v masks=%v\n",
-			it.NowNS/1e9, it.State, it.Action, it.DDIOMask, it.Masks)
-	}
-
 	// Arm the injector only after the machine is assembled: construction-time
 	// mask programming is not part of the fault surface.
 	inj := faults.NewInjector(prof, *chaosSeed)
@@ -206,29 +293,95 @@ func run(args []string, stdout io.Writer) error {
 			dev.SetFaults(inj)
 		}
 		p.SetPollFaults(inj)
-		fmt.Fprintf(stdout, "iatd: chaos profile %q armed (seed %d)\n", *chaos, *chaosSeed)
+		fmt.Fprintf(out, "iatd: chaos profile %q armed (seed %d)\n", *chaos, *chaosSeed)
 	}
 
-	fmt.Fprintf(stdout, "iatd: %d tenants, %d events, %d ways, interval %.2fs, running %.0fs of simulated time\n",
+	// The iteration counter drives the whole checkpoint machinery: writes
+	// fall on every -checkpoint-every'th count, the resume handoff fires
+	// when the silent replay reaches the checkpoint's count, and
+	// -crash-after kills the run at its count. A checkpoint is taken at
+	// the exact program point the resume verification later re-reaches, so
+	// the two states are comparable byte for byte.
+	var iter uint64
+	var replayErr error
+	ckptPath := filepath.Join(*ckptDir, ckptFileName)
+	daemon.OnIteration = func(it core.IterationInfo) {
+		iter++
+		if tracer != nil {
+			_ = tracer.Record(it)
+		}
+		if it.Stable {
+			fmt.Fprintf(out, "[%7.2fs] %-10s stable (ddio=%v hit/s=%.2e miss/s=%.2e)\n",
+				it.NowNS/1e9, it.State, it.DDIOMask, it.DDIOHitPS, it.DDIOMissPS)
+		} else {
+			fmt.Fprintf(out, "[%7.2fs] %-10s %-28s ddio=%v masks=%v\n",
+				it.NowNS/1e9, it.State, it.Action, it.DDIOMask, it.Masks)
+		}
+		if resume != nil && iter == resume.Iteration && replayErr == nil {
+			if replayErr = restoreFromCheckpoint(daemon, inj, prof.Active(), resume, cfgHash, it.NowNS, iter); replayErr == nil {
+				out.muted = false
+			}
+		}
+		if *ckptDir != "" && iter%uint64(*ckptEvery) == 0 {
+			if err := writeCheckpoint(ckptPath, cfgHash, iter, it.NowNS, daemon, inj, prof.Active()); err != nil {
+				log.Printf("iatd: checkpoint: %v", err)
+			} else if tel != nil {
+				tel.Counter("ckpt", "", "writes").Inc()
+			}
+		}
+		if *crashAfter > 0 && iter == *crashAfter {
+			panic(crashError{iter})
+		}
+	}
+
+	fmt.Fprintf(out, "iatd: %d tenants, %d events, %d ways, interval %.2fs, running %.0fs of simulated time\n",
 		len(entries), len(events), p.RDT.NumWays(), *interval, *duration)
-	runWithEvents(p, daemon, events, xmems, *duration*1e9, stdout)
+	if resume != nil {
+		fmt.Fprintf(out, "iatd: resuming from %s (iteration %d, %.2fs simulated); replaying silently to the checkpoint\n",
+			*resumePath, resume.Iteration, resume.SimTimeNS/1e9)
+		out.muted = true
+	}
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				ce, ok := r.(crashError)
+				if !ok {
+					panic(r)
+				}
+				err = ce
+			}
+		}()
+		runWithEvents(p, daemon, events, xmems, *duration*1e9, out)
+		return nil
+	}(); err != nil {
+		return err
+	}
+	if resume != nil {
+		if replayErr != nil {
+			return replayErr
+		}
+		if iter < resume.Iteration {
+			return fmt.Errorf("iatd: resume: checkpoint iteration %d was never reached (run ended after %d iterations)",
+				resume.Iteration, iter)
+		}
+	}
 
 	total, unstable := daemon.Iterations()
-	fmt.Fprintf(stdout, "iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
+	fmt.Fprintf(out, "iatd: done; %d iterations (%d unstable), final state %s, final DDIO mask %v\n",
 		total, unstable, daemon.State(), p.RDT.DDIOMask())
 	if prof.Active() {
 		h := daemon.Health()
-		fmt.Fprintf(stdout, "iatd: chaos: %d faults injected; health: rejects=%d retries=%d wfail=%d degradations=%d rearms=%d degraded=%v\n",
+		fmt.Fprintf(out, "iatd: chaos: %d faults injected; health: rejects=%d retries=%d wfail=%d degradations=%d rearms=%d degraded=%v\n",
 			inj.Total(), h.SampleRejects, h.WriteRetries, h.WriteFailures, h.Degradations, h.Rearms, h.Degraded)
 	}
 	if shadows != nil {
 		for _, sum := range shadows.Summaries() {
-			fmt.Fprintf(stdout, "iatd: shadow %s: ticks=%d agree=%.3f ddio+%d/-%d tenant+%d/-%d hamming=%.2f final-ddio=%d\n",
+			fmt.Fprintf(out, "iatd: shadow %s: ticks=%d agree=%.3f ddio+%d/-%d tenant+%d/-%d hamming=%.2f final-ddio=%d\n",
 				sum.Name, sum.Ticks, sum.AgreeRate(), sum.WouldGrowDDIO, sum.WouldShrinkDDIO,
 				sum.WouldGrowTenant, sum.WouldShrinkTenant, sum.MeanHamming(), sum.FinalDDIO)
 		}
 		if n := shadows.Dropped(); n > 0 {
-			fmt.Fprintf(stdout, "iatd: shadow: %d divergence rows dropped (log bound reached)\n", n)
+			fmt.Fprintf(out, "iatd: shadow: %d divergence rows dropped (log bound reached)\n", n)
 		}
 		if *shadowCSV != "" {
 			cf, err := os.Create(*shadowCSV)
@@ -242,7 +395,7 @@ func run(args []string, stdout io.Writer) error {
 			if err := cf.Close(); err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "iatd: shadow divergence log written to %s\n", *shadowCSV)
+			fmt.Fprintf(out, "iatd: shadow divergence log written to %s\n", *shadowCSV)
 		}
 	}
 	if tel != nil {
@@ -250,7 +403,88 @@ func run(args []string, stdout io.Writer) error {
 		if err := tel.Snapshot(p.NowNS()).WriteFiles(base); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "iatd: telemetry snapshot written to %s.{json,csv,trace.json}\n", base)
+		fmt.Fprintf(out, "iatd: telemetry snapshot written to %s.{json,csv,trace.json}\n", base)
+	}
+	if *jsonDir != "" {
+		var cseed int64
+		if *chaos != "" {
+			cseed = *chaosSeed
+		}
+		opts := harness.RunOptions{
+			Jobs: 1, Selectors: []string{"iatd"},
+			Chaos: *chaos, ChaosSeed: cseed,
+		}
+		if *ckptDir != "" {
+			opts.CheckpointEvery = *ckptEvery
+		}
+		if resume != nil {
+			opts.ResumedFrom = resumeHash
+			opts.ResumeIteration = resume.Iteration
+		}
+		manifest := harness.NewManifest(opts)
+		manifest.Finish()
+		path, err := manifest.Write(*jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "iatd: manifest written to %s\n", path)
+	}
+	return nil
+}
+
+// fmtFlag renders a float flag for the checkpoint config hash: shortest
+// exact representation, so equal values hash equally.
+func fmtFlag(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeCheckpoint captures the daemon (and, under chaos, the injector)
+// and replaces path atomically. It is called from inside OnIteration, at
+// a fixed program point in the iteration; restoreFromCheckpoint verifies
+// a replayed run's state at that same point, so the comparison is exact.
+func writeCheckpoint(path, cfgHash string, iter uint64, nowNS float64, d *core.Daemon, inj *faults.Injector, chaosActive bool) error {
+	st, err := d.SnapshotState()
+	if err != nil {
+		return err
+	}
+	c := &ckpt.Checkpoint{Iteration: iter, SimTimeNS: nowNS, ConfigHash: cfgHash, Daemon: st}
+	if chaosActive {
+		s := inj.Snapshot()
+		c.Injector = &s
+	}
+	return ckpt.WriteFile(path, c)
+}
+
+// restoreFromCheckpoint is the resume handoff, run when the silent
+// replay reaches the checkpoint's iteration: it first proves the
+// replayed daemon and injector state re-serialize to exactly the
+// checkpoint's bytes (the resume-determinism guarantee), then restores
+// from the checkpoint anyway — the file, not the replay, is the
+// authority the run continues from.
+func restoreFromCheckpoint(d *core.Daemon, inj *faults.Injector, chaosActive bool, c *ckpt.Checkpoint, cfgHash string, nowNS float64, iter uint64) error {
+	st, err := d.SnapshotState()
+	if err != nil {
+		return fmt.Errorf("iatd: resume: %w", err)
+	}
+	replayed := &ckpt.Checkpoint{Iteration: iter, SimTimeNS: nowNS, ConfigHash: cfgHash, Daemon: st}
+	if chaosActive {
+		s := inj.Snapshot()
+		replayed.Injector = &s
+	}
+	a, err := ckpt.Marshal(replayed)
+	if err != nil {
+		return fmt.Errorf("iatd: resume: %w", err)
+	}
+	b, err := ckpt.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("iatd: resume: %w", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("iatd: resume: replayed state diverged from the checkpoint at iteration %d", iter)
+	}
+	if err := d.RestoreState(c.Daemon); err != nil {
+		return fmt.Errorf("iatd: resume: %w", err)
+	}
+	if c.Injector != nil {
+		inj.Restore(*c.Injector)
 	}
 	return nil
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"iatsim/internal/ckpt"
+	"iatsim/internal/harness"
 	"iatsim/internal/telemetry"
 )
 
@@ -259,4 +261,217 @@ func TestChaosRunDeterministic(t *testing.T) {
 	if other := chaosRun("8"); first == other {
 		t.Fatal("different chaos seeds produced identical output: seed is not reaching the schedule")
 	}
+}
+
+// iterLines returns the per-iteration decision lines of a run's output
+// (scripted-event lines are not iterations and are skipped).
+func iterLines(s string) []string {
+	var lines []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, "[") && !strings.Contains(l, "] event:") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// findLine returns the first output line with the given prefix.
+func findLine(s, prefix string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.HasPrefix(l, prefix) {
+			return l
+		}
+	}
+	return ""
+}
+
+func mustEqualFiles(t *testing.T, a, b string) {
+	t.Helper()
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Errorf("%s and %s differ", a, b)
+	}
+}
+
+// TestCheckpointResumeDeterministic is the kill-and-resume golden test:
+// a run that crashes at iteration 10 under chaos, resumed from its last
+// checkpoint (iteration 9), reproduces the uninterrupted run byte for
+// byte — decision lines from iteration 7 onward, the full trace CSV, the
+// telemetry snapshot, and the final checkpoint itself.
+func TestCheckpointResumeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 4s of platform time three times")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-tenants", path, "-duration", "4", "-interval", "0.2", "-chaos", "default", "-chaos-seed", "7"}
+	sub := func(parts ...string) []string { return append(append([]string(nil), base...), parts...) }
+	ckFull, ckCrash, ckRes := filepath.Join(dir, "ck-full"), filepath.Join(dir, "ck-crash"), filepath.Join(dir, "ck-res")
+
+	var full bytes.Buffer
+	if err := run(sub("-trace", filepath.Join(dir, "full.csv"), "-telemetry", filepath.Join(dir, "tel-full"),
+		"-checkpoint", ckFull, "-checkpoint-every", "3"), &full); err != nil {
+		t.Fatalf("uninterrupted run: %v\noutput:\n%s", err, full.String())
+	}
+
+	var crashed bytes.Buffer
+	err := run(sub("-checkpoint", ckCrash, "-checkpoint-every", "3", "-crash-after", "10"), &crashed)
+	var ce crashError
+	if !errors.As(err, &ce) || ce.iter != 10 {
+		t.Fatalf("crashed run: err = %v, want crashError at iteration 10", err)
+	}
+	if strings.Contains(crashed.String(), "iatd: done;") {
+		t.Fatal("crashed run printed a done line")
+	}
+	ckFile := filepath.Join(ckCrash, ckptFileName)
+	c, err := ckpt.ReadFile(ckFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Iteration != 9 {
+		t.Fatalf("last checkpoint at iteration %d, want 9", c.Iteration)
+	}
+
+	jsonDir := filepath.Join(dir, "json")
+	var resumed bytes.Buffer
+	if err := run(sub("-resume", ckFile, "-trace", filepath.Join(dir, "resumed.csv"), "-telemetry", filepath.Join(dir, "tel-res"),
+		"-checkpoint", ckRes, "-checkpoint-every", "3", "-json", jsonDir), &resumed); err != nil {
+		t.Fatalf("resumed run: %v\noutput:\n%s", err, resumed.String())
+	}
+	if !strings.Contains(resumed.String(), "iatd: resuming from") {
+		t.Fatalf("missing resume banner:\n%s", resumed.String())
+	}
+
+	// Decision lines: the resumed run prints exactly the uninterrupted
+	// run's tail from iteration 10 onward, and together with the crashed
+	// run's output (minus its dying iteration) reassembles the whole
+	// uninterrupted decision stream.
+	fullIters := iterLines(full.String())
+	resIters := iterLines(resumed.String())
+	crashIters := iterLines(crashed.String())
+	if len(fullIters) < 12 {
+		t.Fatalf("uninterrupted run printed only %d iteration lines", len(fullIters))
+	}
+	if want, got := strings.Join(fullIters[9:], "\n"), strings.Join(resIters, "\n"); got != want {
+		t.Fatalf("resumed tail differs:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if len(crashIters) != 10 {
+		t.Fatalf("crashed run printed %d iteration lines, want 10", len(crashIters))
+	}
+	recombined := append(append([]string(nil), crashIters[:9]...), resIters...)
+	if strings.Join(recombined, "\n") != strings.Join(fullIters, "\n") {
+		t.Fatal("crashed+resumed decision lines do not reassemble the uninterrupted run")
+	}
+	for _, prefix := range []string{"iatd: done;", "iatd: chaos:"} {
+		if fl, rl := findLine(full.String(), prefix), findLine(resumed.String(), prefix); fl == "" || fl != rl {
+			t.Errorf("%q summary differs:\n%q\nvs\n%q", prefix, fl, rl)
+		}
+	}
+
+	// Artifacts: the trace CSV and telemetry snapshots are byte-identical
+	// in full, and the final checkpoints of both runs agree.
+	mustEqualFiles(t, filepath.Join(dir, "full.csv"), filepath.Join(dir, "resumed.csv"))
+	mustEqualFiles(t, filepath.Join(dir, "tel-full", "snapshot.json"), filepath.Join(dir, "tel-res", "snapshot.json"))
+	mustEqualFiles(t, filepath.Join(dir, "tel-full", "snapshot.csv"), filepath.Join(dir, "tel-res", "snapshot.csv"))
+	mustEqualFiles(t, filepath.Join(ckFull, ckptFileName), filepath.Join(ckRes, ckptFileName))
+
+	// Manifest provenance ties the resumed run to the exact checkpoint
+	// bytes it continued from.
+	m, err := harness.ReadManifest(filepath.Join(jsonDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash, err := ckpt.FileHash(ckFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Options.ResumedFrom != wantHash {
+		t.Errorf("manifest resumed_from = %q, want %q", m.Options.ResumedFrom, wantHash)
+	}
+	if m.Options.ResumeIteration != 9 {
+		t.Errorf("manifest resume_iteration = %d, want 9", m.Options.ResumeIteration)
+	}
+	if m.Options.CheckpointEvery != 3 {
+		t.Errorf("manifest checkpoint_every = %d, want 3", m.Options.CheckpointEvery)
+	}
+	if m.Options.Chaos != "default" {
+		t.Errorf("manifest chaos = %q, want default", m.Options.Chaos)
+	}
+}
+
+// TestResumeAndCheckpointValidation: every malformed -resume target and
+// checkpoint flag combination is rejected up front as a usage error
+// (exit 2) before any simulation work, with a message naming the flag.
+func TestResumeAndCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.conf")
+	if err := os.WriteFile(path, []byte(smokeTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectUsage := func(name string, args []string, want string) {
+		t.Helper()
+		var out bytes.Buffer
+		err := run(args, &out)
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: err = %v, want usageError", name, err)
+			return
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: message %q does not mention %q", name, err, want)
+		}
+	}
+
+	expectUsage("missing resume file",
+		[]string{"-tenants", path, "-resume", filepath.Join(dir, "nope.ckpt")}, "-resume")
+
+	garbage := filepath.Join(dir, "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectUsage("garbage resume file", []string{"-tenants", path, "-resume", garbage}, "-resume")
+
+	empty := filepath.Join(dir, "empty.ckpt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectUsage("empty resume file", []string{"-tenants", path, "-resume", empty}, "-resume")
+
+	data, err := ckpt.Marshal(&ckpt.Checkpoint{Iteration: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4]++ // version field starts right after the 4-byte magic
+	future := filepath.Join(dir, "future.ckpt")
+	if err := os.WriteFile(future, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectUsage("future version", []string{"-tenants", path, "-resume", future}, "version")
+
+	zero := filepath.Join(dir, "zero.ckpt")
+	if err := ckpt.WriteFile(zero, &ckpt.Checkpoint{ConfigHash: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	expectUsage("iteration-zero checkpoint", []string{"-tenants", path, "-resume", zero}, "-resume")
+
+	mismatch := filepath.Join(dir, "mismatch.ckpt")
+	if err := ckpt.WriteFile(mismatch, &ckpt.Checkpoint{Iteration: 4, ConfigHash: "0000000000000000"}); err != nil {
+		t.Fatal(err)
+	}
+	expectUsage("config mismatch", []string{"-tenants", path, "-resume", mismatch}, "config hash")
+
+	expectUsage("checkpoint-every without checkpoint",
+		[]string{"-tenants", path, "-checkpoint-every", "3"}, "-checkpoint-every")
+	expectUsage("zero checkpoint-every",
+		[]string{"-tenants", path, "-checkpoint", filepath.Join(dir, "ck"), "-checkpoint-every", "0"}, "-checkpoint-every")
 }

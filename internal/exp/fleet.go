@@ -43,6 +43,12 @@ type FleetOpts struct {
 	IntervalNS float64 // IAT daemon polling interval
 	Seed       int64   // base seed; per-host seeds derive from it
 
+	// CheckpointEvery checkpoints every up host's daemon state after
+	// every Nth round, so hosts killed by crash faults rejoin with their
+	// control-plane state intact (0 defaults to 1; negative disables —
+	// crashed hosts then cold start).
+	CheckpointEvery int
+
 	// Tel, when non-nil, receives the controller's fleet-level metrics
 	// and events (hosts always carry their own registries).
 	Tel *telemetry.Registry
@@ -53,13 +59,14 @@ type FleetOpts struct {
 // long enough for a few daemon iterations each.
 func DefaultFleetOpts() FleetOpts {
 	return FleetOpts{
-		Hosts:      8,
-		Topology:   "striped",
-		Rollout:    "canary",
-		Scale:      800,
-		Rounds:     8,
-		RoundNS:    0.3e9,
-		IntervalNS: 0.1e9,
+		Hosts:           8,
+		Topology:        "striped",
+		Rollout:         "canary",
+		Scale:           800,
+		Rounds:          8,
+		RoundNS:         0.3e9,
+		IntervalNS:      0.1e9,
+		CheckpointEvery: 1,
 	}
 }
 
@@ -85,6 +92,9 @@ func (o FleetOpts) withDefaults() FleetOpts {
 	}
 	if o.IntervalNS == 0 {
 		o.IntervalNS = d.IntervalNS
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = d.CheckpointEvery
 	}
 	return o
 }
@@ -280,10 +290,14 @@ func RunFleet(w io.Writer, o FleetOpts) (*fleet.Report, []*fleet.Host, error) {
 	if o.Tel != nil {
 		sink = o.Tel
 	}
+	every := o.CheckpointEvery
+	if every < 0 {
+		every = 0
+	}
 	e := CurrentExec()
 	rep, err := fleet.Run(fleet.Config{
 		Hosts: hosts, Rounds: o.Rounds, RoundNS: o.RoundNS,
-		Workers: e.Jobs, Plan: plan, Storm: storm,
+		Workers: e.Jobs, Plan: plan, Storm: storm, CheckpointEvery: every,
 		Tel: sink, Manifest: e.Manifest, Progress: e.Progress,
 	})
 	if err != nil {
@@ -296,18 +310,18 @@ func RunFleet(w io.Writer, o FleetOpts) (*fleet.Report, []*fleet.Host, error) {
 		}
 		fmt.Fprintf(w, "Fleet — %d hosts (%s), rollout %s (%s -> %s), storm %s\n",
 			o.Hosts, o.Topology, o.Rollout, plan.Old.Name, plan.New.Name, stormName)
-		fmt.Fprintf(w, "%5s %-11s %5s %5s | %7s %7s %12s %12s | %5s %5s %4s %6s | %7s %7s %3s\n",
+		fmt.Fprintf(w, "%5s %-11s %5s %5s | %7s %7s %12s %12s | %5s %4s %5s %4s %6s | %7s %7s %3s\n",
 			"round", "phase", "onNew", "storm", "p50ipc", "p99ipc", "p50thru/s", "p99thru/s",
-			"degr", "churn", "rej", "faults", "cIPC", "ctlIPC", "rb")
+			"degr", "down", "churn", "rej", "faults", "cIPC", "ctlIPC", "rb")
 		for _, r := range rep.Rows {
 			rb := ""
 			if r.RolledBack {
 				rb = "RB"
 			}
-			fmt.Fprintf(w, "%5d %-11s %5d %5d | %7.3f %7.3f %12.3g %12.3g | %5d %5d %4d %6d | %7.3f %7.3f %3s\n",
+			fmt.Fprintf(w, "%5d %-11s %5d %5d | %7.3f %7.3f %12.3g %12.3g | %5d %4d %5d %4d %6d | %7.3f %7.3f %3s\n",
 				r.Round, r.Phase, r.NewPolicyHosts, r.StormHosts,
 				r.P50IPC, r.P99IPC, r.P50ThroughputPS, r.P99ThroughputPS,
-				r.DegradedHosts, r.MaskChurn, r.SampleRejects, r.Faults,
+				r.DegradedHosts, r.HostsDown, r.MaskChurn, r.SampleRejects, r.Faults,
 				r.CanaryIPC, r.ControlIPC, rb)
 		}
 	}

@@ -59,6 +59,14 @@ const (
 	// PollSkip suppresses one controller polling epoch (scheduling
 	// jitter: the daemon's sleep overran the interval).
 	PollSkip
+	// HostCrash kills a host's control daemon: the host drops out of the
+	// fleet for a seeded number of rounds, and all in-memory daemon state
+	// is lost unless a checkpoint was taken.
+	HostCrash
+	// HostRestart bounces a host's control daemon in place: the process
+	// dies and immediately comes back, resuming from its last checkpoint
+	// (or cold-starting when none exists).
+	HostRestart
 
 	// NumKinds is the number of fault kinds.
 	NumKinds int = iota
@@ -68,6 +76,7 @@ var kindNames = [NumKinds]string{
 	"msr-reject", "msr-sticky",
 	"counter-zero", "counter-saturate", "counter-wrap", "counter-stale",
 	"nic-drop", "nic-stall", "poll-skip",
+	"host-crash", "host-restart",
 }
 
 // String implements fmt.Stringer.
@@ -105,6 +114,7 @@ var namedProfiles = map[string]Profile{
 		MSRWriteReject: 0.2, MSRSticky: 0.1,
 		CounterZero: 0.05, CounterSaturate: 0.05, CounterWrap: 0.02, CounterStale: 0.08,
 		NICDrop: 0.01, NICStall: 0.02, PollSkip: 0.15,
+		HostCrash: 0.06, HostRestart: 0.12,
 	}},
 }
 

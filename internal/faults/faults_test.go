@@ -209,6 +209,121 @@ func TestInjectorTelemetry(t *testing.T) {
 	}
 }
 
+// TestCrashRollsLeaveDatapathUntouched: the crash/restart kinds draw
+// from a separate control-plane stream, so arming them must not shift
+// the MSR/NIC/poll fault schedule of an otherwise identical profile.
+func TestCrashRollsLeaveDatapathUntouched(t *testing.T) {
+	base, _ := ProfileByName("heavy")
+	quiet := base
+	quiet.Rates[HostCrash] = 0
+	quiet.Rates[HostRestart] = 0
+	a := NewInjector(base, 21)
+	b := NewInjector(quiet, 21)
+	for i := 0; i < 200; i++ {
+		a.CrashHost()
+		a.RestartHost()
+		if a.DropRxDesc() != b.DropRxDesc() || a.SkipPoll(0) != b.SkipPoll(0) {
+			t.Fatalf("crash rolls perturbed the datapath stream at draw %d", i)
+		}
+		if _, errA := a.FilterWrite(0xC90, 0x7F, 0x0F); func() bool {
+			_, errB := b.FilterWrite(0xC90, 0x7F, 0x0F)
+			return (errA != nil) != (errB != nil)
+		}() {
+			t.Fatalf("crash rolls perturbed the wrmsr schedule at draw %d", i)
+		}
+	}
+}
+
+// TestCrashRollDeterministic: the crash schedule and outage lengths are a
+// pure function of the seed, and outages stay in the documented 1–3
+// round range.
+func TestCrashRollDeterministic(t *testing.T) {
+	var prof Profile
+	prof.Rates[HostCrash] = 0.3
+	draw := func(seed int64) []int {
+		in := NewInjector(prof, seed)
+		out := make([]int, 0, 100)
+		for i := 0; i < 100; i++ {
+			crashed, rounds := in.CrashHost()
+			if crashed && (rounds < 1 || rounds > 3) {
+				t.Fatalf("outage length %d out of [1,3]", rounds)
+			}
+			out = append(out, rounds)
+		}
+		return out
+	}
+	a, b, c := draw(5), draw(5), draw(6)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at roll %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 5 and 6 produced identical crash schedules")
+	}
+	in := NewInjector(prof, 5)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if ok, _ := in.CrashHost(); ok {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("rate-0.3 crash kind never fired in 100 rolls")
+	}
+	if in.Count(HostCrash) != uint64(fired) {
+		t.Fatalf("Count(HostCrash) = %d, want %d", in.Count(HostCrash), fired)
+	}
+}
+
+// TestInjectorSnapshotRestore: restoring a snapshot into a fresh injector
+// continues the fault schedule exactly where the original left off —
+// both streams, counts, and per-register corruption memory included.
+func TestInjectorSnapshotRestore(t *testing.T) {
+	prof, _ := ProfileByName("heavy")
+	addr := msr.CoreCounterAddr(0, msr.EvCycles)
+	mk := func() *Injector { return NewInjector(prof, 17) }
+	warm := func(in *Injector) {
+		for i := 0; i < 40; i++ {
+			in.DropRxDesc()
+			in.FilterRead(addr, uint64(1000*i))
+			in.CrashHost()
+		}
+	}
+	orig := mk()
+	warm(orig)
+	snap := orig.Snapshot()
+
+	restored := mk()
+	restored.Restore(snap)
+	if restored.Total() != orig.Total() {
+		t.Fatalf("restored Total %d, want %d", restored.Total(), orig.Total())
+	}
+	for i := 0; i < 100; i++ {
+		if orig.DropRxDesc() != restored.DropRxDesc() {
+			t.Fatalf("datapath stream diverged after restore at draw %d", i)
+		}
+		if orig.FilterRead(addr, uint64(5000+i)) != restored.FilterRead(addr, uint64(5000+i)) {
+			t.Fatalf("read corruption diverged after restore at draw %d", i)
+		}
+		oc, or := orig.CrashHost()
+		rc, rr := restored.CrashHost()
+		if oc != rc || or != rr {
+			t.Fatalf("control stream diverged after restore at draw %d", i)
+		}
+	}
+	// The snapshot's maps are copies: mutating them cannot corrupt the
+	// injector they came from.
+	snap.WrapOff[addr] = 999
+	if v, ok := orig.wrapOff[addr]; ok && v == 999 {
+		t.Error("snapshot map aliases the injector's map")
+	}
+}
+
 // TestZeroRateConsumesNoState: kinds at rate 0 must not advance the
 // stream, so one layer's schedule is independent of another layer's
 // activity level.

@@ -28,6 +28,13 @@ type Injector struct {
 	prof  Profile
 	state uint64
 
+	// ctlState is a second, independent splitmix64 stream reserved for
+	// control-plane fault rolls (HostCrash, HostRestart). Keeping those
+	// rolls off the datapath stream means enabling the crash kinds in a
+	// profile never shifts the MSR/counter/NIC/poll schedules of an
+	// otherwise identical profile.
+	ctlState uint64
+
 	counts [NumKinds]uint64
 
 	// wrapOff is the per-register modular offset CounterWrap installs;
@@ -43,16 +50,22 @@ type Injector struct {
 
 var _ msr.FaultHook = (*Injector)(nil)
 
+// ctlSalt decorrelates the control-plane stream from the datapath stream
+// derived from the same seed.
+const ctlSalt = 0xD1B54A32D192ED03
+
 // NewInjector builds an injector for prof whose schedule is a pure
 // function of seed.
 func NewInjector(prof Profile, seed int64) *Injector {
 	in := &Injector{
-		prof:    prof,
-		state:   uint64(seed),
-		wrapOff: make(map[uint32]uint64),
-		lastVal: make(map[uint32]uint64),
+		prof:     prof,
+		state:    uint64(seed),
+		ctlState: uint64(seed) ^ ctlSalt,
+		wrapOff:  make(map[uint32]uint64),
+		lastVal:  make(map[uint32]uint64),
 	}
-	in.next() // fold the seed once so seed 0 does not start at state 0
+	in.next()    // fold the seed once so seed 0 does not start at state 0
+	in.ctlNext() // likewise for the control-plane stream
 	return in
 }
 
@@ -74,13 +87,36 @@ func (in *Injector) AttachTelemetry(s telemetry.Sink, clock func() float64) {
 	}
 }
 
-// next advances the splitmix64 stream.
-func (in *Injector) next() uint64 {
-	in.state += 0x9E3779B97F4A7C15
-	z := in.state
+// next advances the datapath splitmix64 stream.
+func (in *Injector) next() uint64 { return splitmixNext(&in.state) }
+
+// ctlNext advances the control-plane splitmix64 stream.
+func (in *Injector) ctlNext() uint64 { return splitmixNext(&in.ctlState) }
+
+// splitmixNext is one splitmix64 step, shared by both streams.
+func splitmixNext(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// fired accounts one injected fault of kind k: per-kind count, telemetry
+// counter, and a SevDebug event stamped with the injector's sim clock.
+func (in *Injector) fired(k Kind) {
+	in.counts[k]++
+	in.telCnt[k].Inc()
+	if in.tel != nil {
+		now := 0.0
+		if in.clock != nil {
+			now = in.clock()
+		}
+		in.tel.Emit(telemetry.Event{
+			TimeNS: now, Sev: telemetry.SevDebug,
+			Subsystem: "faults", Name: "inject", Detail: kindNames[k],
+		})
+	}
 }
 
 // roll decides one injection opportunity for kind k, counting and
@@ -95,18 +131,21 @@ func (in *Injector) roll(k Kind) bool {
 	if float64(in.next()>>11)/(1<<53) >= r {
 		return false
 	}
-	in.counts[k]++
-	in.telCnt[k].Inc()
-	if in.tel != nil {
-		now := 0.0
-		if in.clock != nil {
-			now = in.clock()
-		}
-		in.tel.Emit(telemetry.Event{
-			TimeNS: now, Sev: telemetry.SevDebug,
-			Subsystem: "faults", Name: "inject", Detail: kindNames[k],
-		})
+	in.fired(k)
+	return true
+}
+
+// ctlRoll is roll on the control-plane stream, for the crash/restart
+// kinds only.
+func (in *Injector) ctlRoll(k Kind) bool {
+	r := in.prof.Rates[k]
+	if r <= 0 {
+		return false
 	}
+	if float64(in.ctlNext()>>11)/(1<<53) >= r {
+		return false
+	}
+	in.fired(k)
 	return true
 }
 
@@ -197,4 +236,68 @@ func (in *Injector) Total() uint64 {
 func (in *Injector) CounterGlitches() uint64 {
 	return in.counts[CounterZero] + in.counts[CounterSaturate] +
 		in.counts[CounterWrap] + in.counts[CounterStale]
+}
+
+// CrashHost rolls one host-crash opportunity on the control-plane stream.
+// When the crash fires it also draws the outage length: the host stays
+// down for 1–3 rounds (seeded). A zero HostCrash rate consumes no control
+// stream state.
+func (in *Injector) CrashHost() (crashed bool, downRounds int) {
+	if !in.ctlRoll(HostCrash) {
+		return false, 0
+	}
+	return true, 1 + int(in.ctlNext()%3)
+}
+
+// RestartHost rolls one host-restart opportunity (an in-place daemon
+// bounce: the process dies and immediately resumes from its last
+// checkpoint) on the control-plane stream.
+func (in *Injector) RestartHost() bool { return in.ctlRoll(HostRestart) }
+
+// InjectorState is the injector's replayable state for checkpointing:
+// both PRNG stream positions, the per-kind injection counts, and the
+// per-register read-corruption memory. The profile and telemetry
+// attachment are configuration, not state, and are not included.
+type InjectorState struct {
+	State    uint64            `json:"state"`
+	CtlState uint64            `json:"ctl_state"`
+	Counts   [NumKinds]uint64  `json:"counts"`
+	WrapOff  map[uint32]uint64 `json:"wrap_off,omitempty"`
+	LastVal  map[uint32]uint64 `json:"last_val,omitempty"`
+}
+
+// Snapshot captures the injector state for checkpointing. The returned
+// maps are copies; mutating them does not affect the injector.
+func (in *Injector) Snapshot() InjectorState {
+	st := InjectorState{
+		State:    in.state,
+		CtlState: in.ctlState,
+		Counts:   in.counts,
+		WrapOff:  make(map[uint32]uint64, len(in.wrapOff)),
+		LastVal:  make(map[uint32]uint64, len(in.lastVal)),
+	}
+	for k, v := range in.wrapOff {
+		st.WrapOff[k] = v
+	}
+	for k, v := range in.lastVal {
+		st.LastVal[k] = v
+	}
+	return st
+}
+
+// Restore rewinds the injector to a snapshot taken from an injector with
+// the same profile: the fault schedule continues exactly where the
+// snapshot left off.
+func (in *Injector) Restore(st InjectorState) {
+	in.state = st.State
+	in.ctlState = st.CtlState
+	in.counts = st.Counts
+	in.wrapOff = make(map[uint32]uint64, len(st.WrapOff))
+	in.lastVal = make(map[uint32]uint64, len(st.LastVal))
+	for k, v := range st.WrapOff {
+		in.wrapOff[k] = v
+	}
+	for k, v := range st.LastVal {
+		in.lastVal[k] = v
+	}
 }

@@ -82,6 +82,10 @@ type Config struct {
 	Plan Plan
 	// Storm, when non-nil, is the correlated fault storm to inject.
 	Storm *Storm
+	// CheckpointEvery, when positive, checkpoints every up host's daemon
+	// state after every Nth round; zero disables checkpointing, so hosts
+	// that crash lose all control-plane state (cold start on rejoin).
+	CheckpointEvery int
 	// Tel, when non-nil, receives the controller's fleet-level metrics
 	// and events (per-host telemetry lives on each Host.Tel).
 	Tel telemetry.Sink
@@ -102,6 +106,9 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Rounds < 1 {
 		return fmt.Errorf("fleet: Rounds must be >= 1")
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("fleet: CheckpointEvery must be >= 0")
 	}
 	if cfg.RoundNS <= 0 {
 		return fmt.Errorf("fleet: RoundNS must be positive")
@@ -137,6 +144,7 @@ type RoundRow struct {
 	P99ThroughputPS float64
 	MemGBps         float64 // fleet total
 	DegradedHosts   int
+	HostsDown       int    // hosts crash-down this round (excluded from the rates above)
 	MaskChurn       uint64 // re-allocation iterations across the fleet
 	SampleRejects   uint64
 	Faults          uint64
@@ -182,6 +190,13 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{}
 	for round := 0; round < cfg.Rounds; round++ {
+		// Storm window first so crash rolls draw from the storm injector
+		// from its very first armed round; then the crash/restart pass,
+		// so the controller sees this round's churn before deciding.
+		stormHosts := applyStormWindow(cfg, round, canaryN)
+		tickCrashes(cfg)
+		ctrl.noteDown(worstDownFrac(cfg.Hosts, ctrl.onNew))
+
 		prevOnNew := ctrl.onNew
 		onNew := ctrl.beginRound(round)
 		for i := prevOnNew; i < onNew; i++ {
@@ -192,7 +207,6 @@ func Run(cfg Config) (*Report, error) {
 		if onNew != prevOnNew {
 			emitEvent(cfg, "wave", fmt.Sprintf("%s: %d -> %d hosts on %q", ctrl.phase(), prevOnNew, onNew, plan.New.Name))
 		}
-		stormHosts := applyStormWindow(cfg, round, canaryN)
 
 		obs, err := stepAll(cfg, round)
 		if err != nil {
@@ -269,10 +283,72 @@ func applyStormWindow(cfg Config, round, canaryN int) int {
 	return armed
 }
 
+// tickCrashes runs the per-round crash/restart pass in host-ID order
+// (part of the determinism contract — it happens serially, before the
+// parallel stepping). An up host with a crash-capable injector may crash
+// (down for a seeded 1-3 rounds, daemon state lost unless checkpointed)
+// or have its daemon bounced in place (immediate relaunch from the last
+// checkpoint). A down host sits out whole rounds — no fault rolls, no
+// stepping, clock frozen — and relaunches when its outage expires.
+func tickCrashes(cfg Config) {
+	for _, h := range cfg.Hosts {
+		if h.down {
+			h.downRounds--
+			if h.downRounds > 0 {
+				continue
+			}
+			h.down = false
+			h.Relaunch()
+			restores, fails := h.RestoreStats()
+			emitEvent(cfg, "host_rejoin", fmt.Sprintf("%s rejoined (restores=%d cold_falls=%d)", h.Name, restores, fails))
+			continue
+		}
+		inj := h.crashInjector()
+		if inj == nil {
+			continue
+		}
+		if crashed, rounds := inj.CrashHost(); crashed {
+			h.down = true
+			h.downRounds = rounds
+			emitEvent(cfg, "host_crash", fmt.Sprintf("%s daemon died, down %d rounds", h.Name, rounds))
+			continue
+		}
+		if inj.RestartHost() {
+			h.Relaunch()
+			emitEvent(cfg, "host_restart", fmt.Sprintf("%s daemon bounced in place", h.Name))
+		}
+	}
+}
+
+// worstDownFrac is the larger down-fraction of the two rollout cohorts
+// (the whole fleet counts as one cohort while no rollout is active).
+func worstDownFrac(hosts []*Host, onNew int) float64 {
+	frac := func(hs []*Host) float64 {
+		if len(hs) == 0 {
+			return 0
+		}
+		down := 0
+		for _, h := range hs {
+			if h.down {
+				down++
+			}
+		}
+		return float64(down) / float64(len(hs))
+	}
+	if onNew <= 0 || onNew >= len(hosts) {
+		return frac(hosts)
+	}
+	return math.Max(frac(hosts[:onNew]), frac(hosts[onNew:]))
+}
+
 // stepAll advances every host by one round on the harness pool: one job
 // per host, results in submission (= host) order. Retries are
 // deliberately zero — re-stepping a half-stepped host would fork its
-// timeline — so a panicking host fails the run.
+// timeline — so a panicking host fails the run. A crash-down host keeps
+// its job slot (total job counts stay invariant) but reports a Down
+// observation without running: its clock is frozen for the round. Up
+// hosts checkpoint their daemon state inside the job on the configured
+// cadence — per-host state, so still race-free.
 func stepAll(cfg Config, round int) ([]HostObs, error) {
 	jobs := make([]harness.Job, len(cfg.Hosts))
 	for i, h := range cfg.Hosts {
@@ -281,7 +357,18 @@ func stepAll(cfg Config, round int) ([]HostObs, error) {
 			Name:   fmt.Sprintf("round%03d/%s", round, h.Name),
 			Figure: "fleet",
 			Seed:   h.Seed,
-			Fn:     func() (any, error) { return h.step(cfg.RoundNS), nil },
+			Fn: func() (any, error) {
+				if h.down {
+					return HostObs{Host: h.ID, Policy: h.policy.Name, Down: true}, nil
+				}
+				obs := h.step(cfg.RoundNS)
+				if cfg.CheckpointEvery > 0 && (round+1)%cfg.CheckpointEvery == 0 {
+					if err := h.Checkpoint(); err != nil {
+						return nil, err
+					}
+				}
+				return obs, nil
+			},
 		}
 	}
 	hrep := harness.Run(jobs, harness.Options{Workers: cfg.Workers, Progress: cfg.Progress, Label: "fleet"})
@@ -316,6 +403,10 @@ func makeRow(round int, ctrl *controller, stormHosts int, obs []HostObs, canary,
 	ipcs := make([]float64, 0, len(obs))
 	thru := make([]float64, 0, len(obs))
 	for _, o := range obs {
+		if o.Down {
+			row.HostsDown++
+			continue
+		}
 		ipcs = append(ipcs, o.IPC)
 		thru = append(thru, o.DDIOHitPS)
 		row.MemGBps += o.MemGBps
@@ -344,6 +435,7 @@ func emitRow(cfg Config, row RoundRow) {
 	tel.Gauge("fleet", "", "p50_throughput_ps").Set(row.P50ThroughputPS)
 	tel.Gauge("fleet", "", "p99_throughput_ps").Set(row.P99ThroughputPS)
 	tel.Gauge("fleet", "", "degraded_hosts").Set(float64(row.DegradedHosts))
+	tel.Gauge("fleet", "", "hosts_down").Set(float64(row.HostsDown))
 	tel.Gauge("fleet", "", "new_policy_hosts").Set(float64(row.NewPolicyHosts))
 	tel.Counter("fleet", "", "rounds").Inc()
 	tel.Counter("fleet", "", "mask_churn").Add(row.MaskChurn)

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"iatsim/internal/ckpt"
 	"iatsim/internal/core"
 	"iatsim/internal/faults"
 	"iatsim/internal/nic"
@@ -62,6 +63,15 @@ type Host struct {
 
 	policy  Policy
 	history []string
+
+	// Crash/restart state. A crashed host's control daemon is dead and
+	// its clock frozen for downRounds rounds; lastCkpt is the in-memory
+	// copy of its last written checkpoint — what survives the crash.
+	down         bool
+	downRounds   int
+	lastCkpt     []byte
+	restores     uint64
+	restoreFails uint64
 
 	prev hostCounters
 }
@@ -140,6 +150,92 @@ func (h *Host) DisarmStorm() {
 // StormActive reports whether a storm is currently armed on the host.
 func (h *Host) StormActive() bool { return h.storm != nil }
 
+// Down reports whether the host is currently crash-down (its daemon dead
+// and its clock frozen until it rejoins).
+func (h *Host) Down() bool { return h.down }
+
+// crashInjector is the injector whose control stream decides this host's
+// crash/restart fate: the storm while one is armed, else the ambient
+// profile (nil when the host has neither).
+func (h *Host) crashInjector() *faults.Injector {
+	if h.storm != nil {
+		return h.storm
+	}
+	return h.baseInj
+}
+
+// Checkpoint serialises the daemon's control-plane state into the host's
+// in-memory checkpoint slot — the state a later Relaunch restores. The
+// fault injectors are environmental here (they model the outside world,
+// which a daemon death does not reset), so only the daemon state is
+// captured.
+func (h *Host) Checkpoint() error {
+	st, err := h.Daemon.SnapshotState()
+	if err != nil {
+		return fmt.Errorf("fleet: %s: checkpoint: %w", h.Name, err)
+	}
+	iters, _ := h.Daemon.Iterations()
+	data, err := ckpt.Marshal(&ckpt.Checkpoint{
+		Iteration: iters,
+		SimTimeNS: h.P.NowNS(),
+		Daemon:    st,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: %s: checkpoint: %w", h.Name, err)
+	}
+	h.lastCkpt = data
+	if h.Tel != nil {
+		h.Tel.Counter("ckpt", "", "writes").Inc()
+	}
+	return nil
+}
+
+// CheckpointBytes returns a copy of the host's current in-memory
+// checkpoint (nil when none has been taken).
+func (h *Host) CheckpointBytes() []byte { return append([]byte(nil), h.lastCkpt...) }
+
+// SetCheckpointBytes primes the host's in-memory checkpoint (e.g. one
+// restored from external storage); the next Relaunch restores from it.
+func (h *Host) SetCheckpointBytes(data []byte) { h.lastCkpt = append([]byte(nil), data...) }
+
+// RestoreStats reports how many daemon relaunches restored from a
+// checkpoint and how many fell back to a cold start because the
+// checkpoint was absent, corrupt, or from a different configuration.
+func (h *Host) RestoreStats() (restores, failures uint64) { return h.restores, h.restoreFails }
+
+// Relaunch bounces the host's control daemon: the process cold-starts,
+// then restores the last checkpoint if one decodes and matches the
+// daemon's configuration. A missing checkpoint is a plain cold start; a
+// bad one additionally counts as a restore failure — never an error, the
+// fleet keeps running either way.
+func (h *Host) Relaunch() {
+	h.Daemon.Restart()
+	if len(h.lastCkpt) > 0 {
+		c, err := ckpt.Unmarshal(h.lastCkpt)
+		if err == nil {
+			err = h.Daemon.RestoreState(c.Daemon)
+		}
+		if err != nil {
+			// Shed any partial restore; the daemon stays cold.
+			h.Daemon.Restart()
+			h.restoreFails++
+			if h.Tel != nil {
+				h.Tel.Counter("ckpt", "", "restore_failures").Inc()
+			}
+		} else {
+			h.restores++
+			if h.Tel != nil {
+				h.Tel.Counter("ckpt", "", "restores").Inc()
+			}
+		}
+	}
+	// Re-anchor the daemon-derived observation baselines: the relaunched
+	// daemon's counters rewound (to the checkpoint or to zero), and the
+	// next round's deltas must not underflow.
+	_, h.prev.unstable = h.Daemon.Iterations()
+	h.prev.health = h.Daemon.Health()
+}
+
 // ApplyPolicy switches the host's daemon to pol and records it in the
 // policy history. A non-nil Spec also swaps the daemon's decision
 // engine; a nil Spec leaves the current engine running.
@@ -205,6 +301,7 @@ func (h *Host) counters() hostCounters {
 type HostObs struct {
 	Host       int
 	Policy     string
+	Down       bool    // host was crash-down this round; all rates are zero
 	IPC        float64 // aggregate IPC of the IOCores
 	DDIOHitPS  float64 // delivered-throughput proxy: DDIO write updates/s
 	DDIOMissPS float64

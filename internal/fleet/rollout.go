@@ -165,22 +165,28 @@ type CohortStats struct {
 	DegradedFrac float64
 }
 
-// cohortStats folds a cohort's observations.
+// cohortStats folds a cohort's observations. Crash-down hosts produced
+// no observation this round and are excluded — Hosts counts the hosts
+// that actually reported.
 func cohortStats(obs []HostObs) CohortStats {
-	s := CohortStats{Hosts: len(obs)}
-	if len(obs) == 0 {
-		return s
-	}
+	var s CohortStats
 	ipcs := make([]float64, 0, len(obs))
 	degraded := 0
 	for _, o := range obs {
+		if o.Down {
+			continue
+		}
+		s.Hosts++
 		ipcs = append(ipcs, o.IPC)
 		if o.Degraded {
 			degraded++
 		}
 	}
+	if s.Hosts == 0 {
+		return s
+	}
 	s.MedianIPC = quantile(ipcs, 0.5)
-	s.DegradedFrac = float64(degraded) / float64(len(obs))
+	s.DegradedFrac = float64(degraded) / float64(s.Hosts)
 	return s
 }
 
@@ -200,18 +206,29 @@ func regressed(canary, control CohortStats, p Plan) bool {
 	return canary.MedianIPC < control.MedianIPC*(1-p.MaxIPCDrop)
 }
 
+// maxDownFrac is the host-churn tolerance of the rollout: while more
+// than this fraction of a cohort is crash-down, promotion, baking and
+// rollback judgement all pause — cohort health computed over a gutted
+// cohort is noise, not signal.
+const maxDownFrac = 0.1
+
 // controller is the rollout state machine Run drives once per round.
 type controller struct {
 	plan  Plan
 	waves []float64
 	n     int
 
-	wave       int // next wave index to apply
-	onNew      int // hosts currently on the new policy (a prefix of Hosts)
-	bake       int // bake rounds remaining for the current wave
+	wave       int  // next wave index to apply
+	onNew      int  // hosts currently on the new policy (a prefix of Hosts)
+	bake       int  // bake rounds remaining for the current wave
+	paused     bool // too many hosts down; rollout frozen this round
 	rolledBack bool
 	done       bool // fully promoted
 }
+
+// noteDown records the worst per-cohort fraction of hosts currently
+// crash-down; the rollout freezes while it exceeds maxDownFrac.
+func (c *controller) noteDown(downFrac float64) { c.paused = downFrac > maxDownFrac }
 
 func newController(plan Plan, n int) *controller {
 	return &controller{plan: plan, waves: plan.waves(), n: n, bake: 0}
@@ -220,7 +237,7 @@ func newController(plan Plan, n int) *controller {
 // beginRound advances the rollout if the previous wave finished baking
 // and returns how many hosts must be on the new policy this round.
 func (c *controller) beginRound(round int) int {
-	if c.rolledBack || c.done || round < c.plan.StartRound || c.bake > 0 {
+	if c.paused || c.rolledBack || c.done || round < c.plan.StartRound || c.bake > 0 {
 		return c.onNew
 	}
 	if c.wave < len(c.waves) {
@@ -236,6 +253,11 @@ func (c *controller) beginRound(round int) int {
 // caller reverts the hosts); otherwise it advances the bake clock.
 func (c *controller) endRound(canary, control CohortStats) bool {
 	if c.rolledBack || c.onNew == 0 {
+		return false
+	}
+	// A paused round neither bakes nor judges: with a meaningful share of
+	// a cohort missing, neither promotion nor rollback evidence is sound.
+	if c.paused {
 		return false
 	}
 	// Only a partial rollout has a control cohort to compare against;

@@ -191,6 +191,100 @@ func TestBigBangCannotRollBack(t *testing.T) {
 	}
 }
 
+func TestControllerPausesWhileHostsDown(t *testing.T) {
+	// Promotion freezes while a cohort is gutted by crashes.
+	ctrl := newController(testPlan(Canary), 8)
+	for round := 0; round < 2; round++ {
+		ctrl.beginRound(round)
+		ctrl.endRound(healthy(0, 8))
+	}
+	ctrl.noteDown(0.25)
+	if got := ctrl.beginRound(2); got != 0 {
+		t.Fatalf("promoted to %d hosts while paused", got)
+	}
+	ctrl.noteDown(0)
+	if got := ctrl.beginRound(3); got != 1 {
+		t.Fatalf("rollout did not resume after churn cleared: onNew = %d", got)
+	}
+
+	// A paused round neither bakes nor judges: the same regression that
+	// would roll the canary back is ignored until the churn clears.
+	bad := CohortStats{Hosts: 1, MedianIPC: 0.1}
+	good := CohortStats{Hosts: 7, MedianIPC: 1.0}
+	ctrl.noteDown(0.5)
+	bakeBefore := ctrl.bake
+	if ctrl.endRound(bad, good) {
+		t.Fatal("rolled back on a paused round")
+	}
+	if ctrl.bake != bakeBefore {
+		t.Fatalf("bake advanced while paused: %d -> %d", bakeBefore, ctrl.bake)
+	}
+	ctrl.noteDown(0.05) // at or below the 10% tolerance: not paused
+	if !ctrl.endRound(bad, good) {
+		t.Fatal("regression not judged after the pause lifted")
+	}
+}
+
+func TestWorstDownFrac(t *testing.T) {
+	mk := func(downs ...bool) []*Host {
+		hosts := make([]*Host, len(downs))
+		for i, d := range downs {
+			hosts[i] = &Host{ID: i, down: d}
+		}
+		return hosts
+	}
+	// No rollout active: the fleet is one cohort.
+	if got := worstDownFrac(mk(true, false, false, false), 0); got != 0.25 {
+		t.Fatalf("fleet frac = %v, want 0.25", got)
+	}
+	// Canary of 1 down: its cohort is 100% down even though the fleet
+	// fraction is small.
+	if got := worstDownFrac(mk(true, false, false, false), 1); got != 1.0 {
+		t.Fatalf("canary frac = %v, want 1.0", got)
+	}
+	// Control cohort churn counts too.
+	if got := worstDownFrac(mk(false, true, true, false), 1); got != 2.0/3.0 {
+		t.Fatalf("control frac = %v, want 2/3", got)
+	}
+	if got := worstDownFrac(mk(false, false), 0); got != 0 {
+		t.Fatalf("healthy fleet frac = %v, want 0", got)
+	}
+}
+
+func TestCohortStatsSkipsDownHosts(t *testing.T) {
+	obs := []HostObs{
+		{IPC: 0.4, Degraded: true},
+		{Down: true},
+		{IPC: 0.8},
+	}
+	s := cohortStats(obs)
+	if s.Hosts != 2 || s.DegradedFrac != 0.5 {
+		t.Fatalf("stats = %+v, want 2 reporting hosts, half degraded", s)
+	}
+	if all := cohortStats([]HostObs{{Down: true}}); all.Hosts != 0 || all.MedianIPC != 0 {
+		t.Fatalf("all-down cohort stats = %+v", all)
+	}
+}
+
+func TestMakeRowCountsDownHosts(t *testing.T) {
+	ctrl := newController(testPlan(Canary), 3)
+	obs := []HostObs{
+		{IPC: 0.5, MaskChurn: 2, Faults: 3},
+		{Down: true, Policy: "old"},
+		{IPC: 0.7, Degraded: true},
+	}
+	row := makeRow(4, ctrl, 0, obs, cohortStats(nil), cohortStats(obs))
+	if row.HostsDown != 1 {
+		t.Fatalf("HostsDown = %d, want 1", row.HostsDown)
+	}
+	if row.DegradedHosts != 1 || row.MaskChurn != 2 || row.Faults != 3 {
+		t.Fatalf("down host leaked into aggregates: %+v", row)
+	}
+	if row.P50IPC != 0.5 && row.P50IPC != 0.7 {
+		t.Fatalf("p50 over up hosts = %v", row.P50IPC)
+	}
+}
+
 func TestCohortStats(t *testing.T) {
 	obs := []HostObs{
 		{IPC: 0.4, Degraded: true},

@@ -23,6 +23,19 @@ type RunOptions struct {
 	// ChaosSeed is the base seed fault-injection schedules derive from
 	// (meaningless, and zero, when Chaos is "off").
 	ChaosSeed int64 `json:"chaos_seed"`
+	// CheckpointEvery is the state-checkpoint cadence the run used, in
+	// iterations (iatd) or rounds (fleetd); zero when checkpointing was
+	// off.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// ResumedFrom is the content hash (ckpt.FileHash) of the checkpoint
+	// file a resumed run restored from; empty for cold-start runs. With
+	// ResumeIteration it ties every resumed run's outputs back to the
+	// exact bytes it continued from.
+	ResumedFrom string `json:"resumed_from,omitempty"`
+	// ResumeIteration is the iteration the ResumedFrom checkpoint was
+	// taken at; output is byte-identical to an uninterrupted run from the
+	// next iteration onward.
+	ResumeIteration uint64 `json:"resume_iteration,omitempty"`
 }
 
 // Manifest is the per-run record written alongside the CSV export: run

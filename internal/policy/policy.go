@@ -252,6 +252,14 @@ type Policy interface {
 	Decide() Actions
 	// Health returns the running decision-mix counters.
 	Health() Health
+	// Snapshot serialises the policy's internal state (baselines,
+	// hysteresis streaks, health counters) for checkpointing.
+	// Deterministic: identical state yields identical bytes.
+	Snapshot() ([]byte, error)
+	// Restore rewinds the policy to a Snapshot taken from an instance
+	// with the same Name. A failed restore leaves the policy unchanged
+	// and returns a typed error — never panics.
+	Restore(data []byte) error
 }
 
 // Spec is a parsed policy specification — the flag/rollout-level

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/bits"
@@ -272,6 +273,108 @@ func (e *Evaluator) commit(sh *shadowState, cs Sample, a Actions) {
 		}
 		sh.ddio = t
 	}
+}
+
+// evaluatorState is the Evaluator's serialised form: one entry per
+// shadow, in registration order. The bounded per-tick row log is
+// deliberately excluded — it is an observability artefact, not decision
+// state, and would dominate the checkpoint size.
+type evaluatorState struct {
+	Shadows []shadowSnap `json:"shadows"`
+}
+
+// shadowSnap is one shadow's serialised counterfactual machine.
+type shadowSnap struct {
+	Name     string        `json:"name"`
+	PolState []byte        `json:"pol_state"`
+	Init     bool          `json:"init"`
+	State    State         `json:"state"`
+	DDIO     int           `json:"ddio"`
+	Width    map[int]int   `json:"width,omitempty"`
+	Sum      ShadowSummary `json:"sum"`
+}
+
+// Snapshot serialises every shadow's policy state, counterfactual
+// machine, and running summary for checkpointing. A nil or empty
+// evaluator snapshots to an empty state that Restore accepts.
+func (e *Evaluator) Snapshot() ([]byte, error) {
+	var st evaluatorState
+	if e != nil {
+		for _, sh := range e.shadows {
+			ps, err := sh.pol.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("policy: snapshot shadow %s: %w", sh.pol.Name(), err)
+			}
+			w := make(map[int]int, len(sh.width))
+			for clos, width := range sh.width {
+				w[clos] = width
+			}
+			st.Shadows = append(st.Shadows, shadowSnap{
+				Name: sh.pol.Name(), PolState: ps,
+				Init: sh.init, State: sh.state, DDIO: sh.ddio,
+				Width: w, Sum: sh.sum,
+			})
+		}
+	}
+	return json.Marshal(st)
+}
+
+// Restore rewinds the evaluator to a Snapshot. The shadow set is matched
+// by name in order — a snapshot taken under a different -shadow
+// configuration is rejected with a typed error and the evaluator is left
+// unchanged.
+func (e *Evaluator) Restore(data []byte) error {
+	var st evaluatorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("policy: restore evaluator: %w", err)
+	}
+	n := 0
+	if e != nil {
+		n = len(e.shadows)
+	}
+	if len(st.Shadows) != n {
+		return fmt.Errorf("policy: restore evaluator: snapshot has %d shadows, evaluator has %d", len(st.Shadows), n)
+	}
+	for i, sh := range st.Shadows {
+		if got := e.shadows[i].pol.Name(); got != sh.Name {
+			return fmt.Errorf("policy: restore evaluator: shadow %d is %q in snapshot, %q here", i, sh.Name, got)
+		}
+	}
+	for i, snap := range st.Shadows {
+		sh := e.shadows[i]
+		if err := sh.pol.Restore(snap.PolState); err != nil {
+			return err
+		}
+		sh.init = snap.Init
+		sh.state = snap.State
+		sh.ddio = snap.DDIO
+		sh.width = make(map[int]int, len(snap.Width))
+		for clos, width := range snap.Width {
+			sh.width[clos] = width
+		}
+		sh.sum = snap.Sum
+	}
+	return nil
+}
+
+// Restart is a cold start: the evaluator behaves as if the process had
+// just launched — policies reset, counterfactual machines dropped,
+// summaries and the divergence log zeroed. Used when a daemon restarts
+// without (or failing) a checkpoint restore.
+func (e *Evaluator) Restart() {
+	if e == nil {
+		return
+	}
+	for _, sh := range e.shadows {
+		sh.pol.Reset()
+		sh.init = false
+		sh.state = 0
+		sh.ddio = 0
+		sh.width = map[int]int{}
+		sh.sum = ShadowSummary{Name: sh.pol.Name()}
+	}
+	e.rows = nil
+	e.dropped = 0
 }
 
 // Rows returns the recorded divergence rows (shared slice; do not mutate).
