@@ -7,7 +7,7 @@ GO      ?= go
 JOBS    ?= 4
 TMP     ?= /tmp/iatsim
 
-.PHONY: all build lint simlint lint-baseline vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke ckpt-smoke bench determinism scaling clean
+.PHONY: all build lint simlint lint-baseline vet fmtcheck test race smoke telemetry-smoke chaos-smoke fleet-smoke ckpt-smoke bench bench-baseline bench-diff determinism scaling clean
 
 all: build lint test race telemetry-smoke chaos-smoke fleet-smoke ckpt-smoke
 
@@ -134,6 +134,33 @@ bench: build
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . > $(TMP)/bench.txt
 	$(GO) run ./cmd/benchjson -in $(TMP)/bench.txt -out results/bench.json
 	@echo "bench OK: results/bench.json"
+
+# bench-baseline re-records results/bench-baseline.json, the committed
+# reference bench-diff gates against: $(BENCH_COUNT) suite runs,
+# collapsed best-of-N per benchmark (the fastest run is the one least
+# disturbed by the host). Regenerate (and commit) after an intentional
+# performance change, or when the reference hardware class changes —
+# ns/op is only comparable against a baseline from the same machine
+# class.
+BENCH_COUNT ?= 3
+bench-baseline: build
+	mkdir -p $(TMP) results
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count $(BENCH_COUNT) . > $(TMP)/bench-baseline.txt
+	$(GO) run ./cmd/benchjson -best -in $(TMP)/bench-baseline.txt -out results/bench-baseline.json
+	@echo "bench-baseline OK: results/bench-baseline.json"
+
+# bench-diff is the regression gate (run by CI): re-run the suite
+# $(BENCH_COUNT) times, then fail on any benchmark whose best run got
+# >$(BENCH_TOLERANCE)% slower in ns/op or regressed in allocs/op vs
+# results/bench-baseline.json. A zero-alloc baseline gates exactly (the
+# hot loops' 0 allocs/op is a property, not a timing); an allocating
+# baseline gets 1% slack for b.N-dependent amortization flap.
+BENCH_TOLERANCE ?= 15
+bench-diff: build
+	mkdir -p $(TMP)
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count $(BENCH_COUNT) . > $(TMP)/bench-head.txt
+	$(GO) run ./cmd/benchjson -best -in $(TMP)/bench-head.txt -out $(TMP)/bench-head.json
+	$(GO) run ./cmd/benchjson -diff -tolerance $(BENCH_TOLERANCE) results/bench-baseline.json $(TMP)/bench-head.json
 
 # determinism: -all at 1 worker vs 8 workers must emit byte-identical CSV
 # rows. fig15.csv is excluded: it measures host wall-clock time (the

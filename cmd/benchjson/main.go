@@ -7,9 +7,20 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > results/bench.json
 //	benchjson -in bench.txt -out results/bench.json
+//	benchjson -diff -tolerance 15 results/bench-baseline.json new.json
 //
 // The output is deterministic for a given input: benchmarks appear in
 // input order and metric keys are sorted by encoding/json.
+//
+// -diff compares two converted reports (`make bench-diff` is the CI
+// entry point): it exits 1 when any baseline benchmark got more than
+// -tolerance percent slower in ns/op (gated only at baselines of 1µs/op
+// and up — sub-µs micro-benches drown in timer jitter and are gated on
+// allocations alone), regressed in allocs/op (exactly at a zero-alloc
+// baseline, beyond 1% otherwise), or disappeared.
+// Benchmarks only present in the new report are listed but never gated. Both sides are collapsed best-of-N first, so
+// feeding it `-count=N` suites damps scheduler noise; -best applies the
+// same collapse when converting (used for the committed baseline).
 package main
 
 import (
@@ -54,7 +65,29 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`
 func main() {
 	inPath := flag.String("in", "", "read bench text from this file instead of stdin")
 	outPath := flag.String("out", "", "write JSON to this file instead of stdout")
+	diff := flag.Bool("diff", false, "compare two JSON reports: benchjson -diff [-tolerance pct] old.json new.json")
+	tolerance := flag.Float64("tolerance", 15, "allowed ns/op growth in percent for -diff, applied at baselines >= 1µs/op (allocs/op gates exactly at a zero-alloc baseline, 1% otherwise)")
+	best := flag.Bool("best", false, "collapse repeated runs (-count=N bench output) into one entry per benchmark, keeping each metric's minimum")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report paths (old.json new.json)")
+			os.Exit(2)
+		}
+		if *tolerance < 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -tolerance must be >= 0 (got %g)\n", *tolerance)
+			os.Exit(2)
+		}
+		regressed, err := runDiff(flag.Arg(0), flag.Arg(1), *tolerance, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *inPath != "" {
@@ -71,6 +104,9 @@ func main() {
 	}
 	if len(rep.Benchmarks) == 0 {
 		log.Fatal("benchjson: no benchmark lines in input")
+	}
+	if *best {
+		rep = CollapseBest(rep)
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

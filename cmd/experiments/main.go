@@ -30,6 +30,7 @@ import (
 	"iatsim/internal/exp"
 	"iatsim/internal/faults"
 	"iatsim/internal/harness"
+	"iatsim/internal/prof"
 )
 
 // validFigs and validTabs are the figure/table selectors this binary knows;
@@ -52,6 +53,8 @@ func main() {
 	chaos := flag.String("chaos", "", "run the stability-under-faults experiment with this fault profile ("+strings.Join(faults.ProfileNames(), ",")+" or kind=rate,... spec)")
 	fleetGrid := flag.Bool("fleet", false, "run the fleet rollout grid (strategies x canary-cohort fault storm)")
 	tournament := flag.Bool("policytournament", false, "run the policy tournament (allocation policies x workloads x fault profiles, ranked)")
+	var pf prof.Opts
+	pf.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	want, selectors, err := parseSelectors(*figs, *tabs, *all, *ablations)
@@ -90,6 +93,18 @@ func main() {
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1 (got %d)\n", *jobs)
 		os.Exit(2)
+	}
+	// Profiling is host-side observability, outside the determinism
+	// guarantee: rows and CSVs are byte-identical with it on or off. A bad
+	// profile path or listen address is a usage error (exit 2), caught
+	// before any sweep runs.
+	profiler, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	if profiler.Addr != "" {
+		fmt.Fprintf(os.Stderr, "experiments: pprof listening on http://%s/debug/pprof/\n", profiler.Addr)
 	}
 
 	// The chaos profile (and the seed its fault schedules derive from) is
@@ -150,6 +165,13 @@ func main() {
 	run("chaos", func() any { return exp.RunChaos(w, chaosOpts(*full, *chaos)) })
 	run("fleet", func() any { return exp.RunFleetGrid(w, fleetOpts(*full, *chaos, *seed)) })
 	run("tournament", func() any { return exp.RunPolicyTournament(w, tournamentOpts(*full)) })
+
+	// Stop explicitly (not via defer): the failure paths below leave
+	// through os.Exit, which would skip the CPU-profile flush.
+	if err := profiler.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: profiling: %v\n", err)
+		os.Exit(1)
+	}
 
 	manifest.Finish()
 	if *jsonDir != "" {

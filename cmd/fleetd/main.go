@@ -34,6 +34,7 @@ import (
 	"iatsim/internal/fleet"
 	"iatsim/internal/harness"
 	"iatsim/internal/policy"
+	"iatsim/internal/prof"
 	"iatsim/internal/telemetry"
 )
 
@@ -78,6 +79,8 @@ func run(args []string, stdout io.Writer) error {
 	csvDir := fs.String("csv", "", "write the per-round aggregate rows as <dir>/fleet.csv")
 	jsonDir := fs.String("json", "", "write the run manifest as JSON into this directory")
 	telDir := fs.String("telemetry", "", "write controller and merged-host telemetry snapshots into this directory")
+	var pf prof.Opts
+	pf.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +141,20 @@ func run(args []string, stdout io.Writer) error {
 				return usageError{err.Error()}
 			}
 		}
+	}
+	// Profiling is host-side observability, outside the determinism
+	// guarantee: the run's stdout is byte-identical with it on or off.
+	profiler, err := pf.Start()
+	if err != nil {
+		return usageError{fmt.Sprintf("profiling: %v", err)}
+	}
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			log.Printf("fleetd: profiling: %v", err)
+		}
+	}()
+	if profiler.Addr != "" {
+		fmt.Fprintf(os.Stderr, "fleetd: pprof listening on http://%s/debug/pprof/\n", profiler.Addr)
 	}
 
 	// The storm profile and its seed are recorded for every run — "off"

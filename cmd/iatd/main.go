@@ -34,6 +34,7 @@ import (
 	"iatsim/internal/nvme"
 	"iatsim/internal/pkt"
 	"iatsim/internal/policy"
+	"iatsim/internal/prof"
 	"iatsim/internal/sim"
 	"iatsim/internal/telemetry"
 	"iatsim/internal/tenantfile"
@@ -119,6 +120,8 @@ func run(args []string, stdout io.Writer) error {
 	resumePath := fs.String("resume", "", "resume from this checkpoint file: replay silently to its iteration, verify, restore, continue")
 	crashAfter := fs.Uint64("crash-after", 0, "simulate a daemon crash immediately after this iteration (0 = never; exits 137)")
 	jsonDir := fs.String("json", "", "write the run manifest (with checkpoint provenance) as JSON into this directory")
+	var pf prof.Opts
+	pf.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +174,20 @@ func run(args []string, stdout io.Writer) error {
 		if err := ensureWritableDir(*jsonDir); err != nil {
 			return usageError{fmt.Sprintf("-json: %v", err)}
 		}
+	}
+	// Profiling is host-side observability, outside the determinism
+	// guarantee: the run's stdout is byte-identical with it on or off.
+	profiler, err := pf.Start()
+	if err != nil {
+		return usageError{fmt.Sprintf("profiling: %v", err)}
+	}
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			log.Printf("iatd: profiling: %v", err)
+		}
+	}()
+	if profiler.Addr != "" {
+		fmt.Fprintf(os.Stderr, "iatd: pprof listening on http://%s/debug/pprof/\n", profiler.Addr)
 	}
 	// Read and validate the resume checkpoint before any simulation work:
 	// a missing file, corrupt envelope or future version must exit 2 up

@@ -1,11 +1,22 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 const (
 	stateValid uint8 = 1 << 0
 	stateDirty uint8 = 1 << 1
 )
+
+// invalidTag marks an empty way in the tag array. Tags are line
+// addresses (address >> LineShift), so a real tag can only collide with
+// the sentinel for addresses above 2^64-64 — far outside the simulated
+// physical address space. Storing the sentinel lets probe scan tags
+// alone, without consulting the state bytes, which is the hottest loop
+// in the whole simulator.
+const invalidTag = ^uint64(0)
 
 // SliceStats are the per-slice CHA counters. The DDIO pair is exactly what
 // the paper's daemon samples from the uncore PMU: DDIOHits counts inbound
@@ -44,10 +55,15 @@ func (s *SliceStats) Add(o SliceStats) {
 // current way mask — the behaviour the paper's shuffling step relies on
 // ("a tenant can still access its data in previously assigned LLC ways
 // UNTIL it has been evicted", Sec. IV-D).
+//
+// tags doubles as the presence index (invalidTag = empty way) and valid
+// carries a per-set occupancy bitmask, so the miss path finds a free way
+// with one AND-NOT instead of a state scan.
 type llcSlice struct {
-	tags  []uint64
-	state []uint8
-	rrpv  []uint8
+	tags  []uint64 // per way; invalidTag when empty
+	state []uint8  // valid/dirty bits, authoritative for dirtiness
+	rrpv  []uint8  // SRRIP age, or LRU rank (a permutation per set)
+	valid []uint32 // per set: bitmask of valid ways
 	stats SliceStats
 	tel   sliceTel
 }
@@ -65,8 +81,9 @@ type LLC struct {
 	cfg    LLCConfig
 	slices []llcSlice
 
-	setMask uint64 // SetsPerSlice-1
-	vicRR   uint32 // rotating tie-break for victim selection
+	setMask  uint64 // SetsPerSlice-1
+	fullMask uint32 // FullMask(cfg.Ways), the in-range way bits
+	vicRR    uint32 // rotating tie-break for victim selection
 
 	// Per-core demand counters, the source for the "LLC reference and
 	// miss" events IAT polls (LONGEST_LAT_CACHE.{REFERENCE,MISS}).
@@ -91,15 +108,21 @@ func NewLLC(cfg LLCConfig, cores int) *LLC {
 		cfg:        cfg,
 		slices:     make([]llcSlice, cfg.Slices),
 		setMask:    uint64(cfg.SetsPerSlice - 1),
+		fullMask:   uint32(FullMask(cfg.Ways)),
 		coreRefs:   make([]uint64, cores),
 		coreMisses: make([]uint64, cores),
 	}
 	n := cfg.SetsPerSlice * cfg.Ways
 	for i := range l.slices {
+		tags := make([]uint64, n)
+		for j := range tags {
+			tags[j] = invalidTag
+		}
 		l.slices[i] = llcSlice{
-			tags:  make([]uint64, n),
+			tags:  tags,
 			state: make([]uint8, n),
 			rrpv:  make([]uint8, n),
+			valid: make([]uint32, cfg.SetsPerSlice),
 		}
 	}
 	return l
@@ -119,19 +142,22 @@ func hashLine(line uint64) uint64 {
 	return x
 }
 
-// locate maps an address to (slice, base index of its set).
-func (l *LLC) locate(a uint64) (sl *llcSlice, setBase int) {
+// locate maps an address to (slice, set index, base index of its set).
+func (l *LLC) locate(a uint64) (sl *llcSlice, setIdx, setBase int) {
 	line := a >> LineShift
 	h := hashLine(line)
 	s := int(h % uint64(l.cfg.Slices))
 	set := int((h >> 24) & l.setMask)
-	return &l.slices[s], set * l.cfg.Ways
+	return &l.slices[s], set, set * l.cfg.Ways
 }
 
-// probe searches the set for the tag; returns the way offset or -1.
+// probe searches the set for the tag; returns the way offset or -1. The
+// sentinel encoding makes this a pure tag scan: no state loads, no
+// branches besides the compare.
 func (l *LLC) probe(sl *llcSlice, base int, tag uint64) int {
-	for w := 0; w < l.cfg.Ways; w++ {
-		if sl.state[base+w]&stateValid != 0 && sl.tags[base+w] == tag {
+	tags := sl.tags[base : base+l.cfg.Ways]
+	for w := range tags {
+		if tags[w] == tag {
 			return w
 		}
 	}
@@ -149,8 +175,12 @@ func (l *LLC) touch(sl *llcSlice, base, w int) {
 }
 
 // lruPromote moves way w to MRU, ageing every valid line that was younger.
+// Ranks of the valid lines in a set are a permutation 0..k-1 and stay one.
 func (l *LLC) lruPromote(sl *llcSlice, base, w int) {
 	old := sl.rrpv[base+w]
+	if old == 0 {
+		return // already MRU: nothing can be younger
+	}
 	for i := 0; i < l.cfg.Ways; i++ {
 		if sl.state[base+i]&stateValid != 0 && i != w && sl.rrpv[base+i] < old {
 			sl.rrpv[base+i]++
@@ -159,67 +189,85 @@ func (l *LLC) lruPromote(sl *llcSlice, base, w int) {
 	sl.rrpv[base+w] = 0
 }
 
-// lruInsert gives a newly installed line MRU rank, ageing everything else.
-// The fresh line is treated as older-than-everything first so rank
-// uniqueness among valid lines is preserved.
-func (l *LLC) lruInsert(sl *llcSlice, base, w int) {
-	sl.rrpv[base+w] = ^uint8(0)
-	l.lruPromote(sl, base, w)
+// lruInsertAt gives a newly installed line MRU rank, ageing only the
+// lines that were younger than the departed victim's rank (limit). The
+// departing rank vacates and rank 0 is taken, so the valid lines' ranks
+// remain a permutation 0..k-1. Ageing past the victim's rank instead
+// (the old behaviour) inflated out-of-mask lines' ranks until they all
+// saturated at 255 and their true age order was lost — the mask-shrink
+// LRU-age corruption covered by TestLLCLRUMaskShrinkAgeCorruption.
+func (l *LLC) lruInsertAt(sl *llcSlice, base, w int, limit uint8) {
+	for i := 0; i < l.cfg.Ways; i++ {
+		if sl.state[base+i]&stateValid != 0 && i != w && sl.rrpv[base+i] < limit {
+			sl.rrpv[base+i]++
+		}
+	}
+	sl.rrpv[base+w] = 0
 }
 
 // victimWay picks the allocation victim inside the allowed mask: an invalid
 // allowed way if one exists, else (SRRIP) an allowed way whose RRPV has aged
 // to rrpvMax — ageing the whole allowed set as needed — or (LRU) the
-// least-recently-used allowed way.
-func (l *LLC) victimWay(sl *llcSlice, base int, mask WayMask) int {
-	for w := 0; w < l.cfg.Ways; w++ {
-		if mask.Has(w) && sl.state[base+w]&stateValid == 0 {
-			return w
-		}
+// least-recently-used allowed way. setIdx indexes the slice's per-set
+// valid bitmask for base.
+func (l *LLC) victimWay(sl *llcSlice, setIdx, base int, mask WayMask) int {
+	allowed := uint32(mask) & l.fullMask
+	if allowed == 0 {
+		panic(fmt.Sprintf("cache: way mask %s has no ways below %d; refusing out-of-set allocation", mask, l.cfg.Ways))
 	}
+	if inv := allowed &^ sl.valid[setIdx]; inv != 0 {
+		return bits.TrailingZeros32(inv) // lowest-indexed empty allowed way
+	}
+	rr := sl.rrpv[base : base+l.cfg.Ways]
 	if l.cfg.Policy == PolicyLRU {
 		best, bestRank := -1, -1
-		for w := 0; w < l.cfg.Ways; w++ {
-			if !mask.Has(w) {
-				continue
-			}
-			if r := int(sl.rrpv[base+w]); r > bestRank {
+		for m := allowed; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros32(m)
+			if r := int(rr[w]); r > bestRank {
 				best, bestRank = w, r
 			}
 		}
 		return best
 	}
-	// Rotate the scan start so RRPV ties don't always evict the lowest
-	// way (which would shelter high ways from replacement pressure).
+	// SRRIP. Rotate the scan start so RRPV ties don't always evict the
+	// lowest way (which would shelter high ways from replacement
+	// pressure); the victim is the first allowed way in rotated order
+	// holding the maximum RRPV. The original aged every allowed line by
+	// one and rescanned until the maximum reached rrpvMax; ageing is
+	// uniform over the allowed set, so one batched add of
+	// (rrpvMax - max) is identical and the argmax never moves.
 	l.vicRR++
 	start := int(l.vicRR) % l.cfg.Ways
-	for {
-		best, bestRRPV := -1, -1
-		for i := 0; i < l.cfg.Ways; i++ {
-			w := (start + i) % l.cfg.Ways
-			if !mask.Has(w) {
-				continue
-			}
-			if r := int(sl.rrpv[base+w]); r > bestRRPV {
+	best, bestRRPV := -1, -1
+	for w := start; w < l.cfg.Ways; w++ {
+		if allowed&(1<<uint(w)) != 0 {
+			if r := int(rr[w]); r > bestRRPV {
 				best, bestRRPV = w, r
 			}
 		}
-		if best < 0 || bestRRPV >= int(rrpvMax) {
-			return best
-		}
-		// Age every allowed line and retry.
-		for w := 0; w < l.cfg.Ways; w++ {
-			if mask.Has(w) {
-				sl.rrpv[base+w]++
+	}
+	for w := 0; w < start; w++ {
+		if allowed&(1<<uint(w)) != 0 {
+			if r := int(rr[w]); r > bestRRPV {
+				best, bestRRPV = w, r
 			}
 		}
 	}
+	if bestRRPV < int(rrpvMax) {
+		delta := rrpvMax - uint8(bestRRPV)
+		for m := allowed; m != 0; m &= m - 1 {
+			rr[bits.TrailingZeros32(m)] += delta
+		}
+	}
+	return best
 }
 
-// install places the tag into way w, returning the displaced victim.
-func (l *LLC) install(sl *llcSlice, base, w int, tag uint64, dirty bool) Victim {
+// install places the tag into way w of the set at (setIdx, base),
+// returning the displaced victim.
+func (l *LLC) install(sl *llcSlice, setIdx, base, w int, tag uint64, dirty bool) Victim {
 	var v Victim
 	idx := base + w
+	victimRank := ^uint8(0) // "older than everything" when the way was empty
 	if sl.state[idx]&stateValid != 0 {
 		v = Victim{
 			Addr:  sl.tags[idx] << LineShift,
@@ -230,14 +278,16 @@ func (l *LLC) install(sl *llcSlice, base, w int, tag uint64, dirty bool) Victim 
 			sl.stats.Writebacks++
 		}
 		sl.tel.evictions.Inc()
+		victimRank = sl.rrpv[idx]
 	}
 	sl.tags[idx] = tag
 	sl.state[idx] = stateValid
 	if dirty {
 		sl.state[idx] |= stateDirty
 	}
+	sl.valid[setIdx] |= 1 << uint(w)
 	if l.cfg.Policy == PolicyLRU {
-		l.lruInsert(sl, base, w)
+		l.lruInsertAt(sl, base, w, victimRank)
 	} else {
 		sl.rrpv[idx] = rrpvInsert
 	}
@@ -249,7 +299,7 @@ func (l *LLC) install(sl *llcSlice, base, w int, tag uint64, dirty bool) Victim 
 // choose the fill location. The returned Victim must be written back by the
 // caller if dirty.
 func (l *LLC) Access(core int, a uint64, write bool, mask WayMask) (hit bool, v Victim) {
-	sl, base := l.locate(a)
+	sl, setIdx, base := l.locate(a)
 	tag := a >> LineShift
 	sl.stats.Lookups++
 	l.coreRefs[core]++
@@ -275,8 +325,8 @@ func (l *LLC) Access(core int, a uint64, write bool, mask WayMask) (hit bool, v 
 	if mask == 0 {
 		mask = FullMask(l.cfg.Ways)
 	}
-	w := l.victimWay(sl, base, mask)
-	v = l.install(sl, base, w, tag, write)
+	w := l.victimWay(sl, setIdx, base, mask)
+	v = l.install(sl, setIdx, base, w, tag, write)
 	sl.tel.fillsApp.Inc()
 	return false, v
 }
@@ -286,7 +336,7 @@ func (l *LLC) Access(core int, a uint64, write bool, mask WayMask) (hit bool, v 
 // It does not count as a demand reference. The returned victim must be
 // written back by the caller if dirty.
 func (l *LLC) FillWriteback(a uint64, mask WayMask) Victim {
-	sl, base := l.locate(a)
+	sl, setIdx, base := l.locate(a)
 	tag := a >> LineShift
 	if w := l.probe(sl, base, tag); w >= 0 {
 		sl.state[base+w] |= stateDirty
@@ -300,8 +350,8 @@ func (l *LLC) FillWriteback(a uint64, mask WayMask) Victim {
 	if mask == 0 {
 		mask = FullMask(l.cfg.Ways)
 	}
-	w := l.victimWay(sl, base, mask)
-	v := l.install(sl, base, w, tag, true)
+	w := l.victimWay(sl, setIdx, base, mask)
+	v := l.install(sl, setIdx, base, w, tag, true)
 	sl.tel.fillsApp.Inc()
 	return v
 }
@@ -311,7 +361,7 @@ func (l *LLC) FillWriteback(a uint64, mask WayMask) Victim {
 // it is allocated into the DDIO mask (write allocate — a DDIO miss) and the
 // displaced victim is returned for writeback.
 func (l *LLC) IOWrite(a uint64, ddioMask WayMask) (hit bool, v Victim) {
-	sl, base := l.locate(a)
+	sl, setIdx, base := l.locate(a)
 	tag := a >> LineShift
 	if w := l.probe(sl, base, tag); w >= 0 {
 		sl.stats.DDIOHits++
@@ -323,8 +373,8 @@ func (l *LLC) IOWrite(a uint64, ddioMask WayMask) (hit bool, v Victim) {
 	if ddioMask == 0 {
 		ddioMask = FullMask(l.cfg.Ways)
 	}
-	w := l.victimWay(sl, base, ddioMask)
-	v = l.install(sl, base, w, tag, true)
+	w := l.victimWay(sl, setIdx, base, ddioMask)
+	v = l.install(sl, setIdx, base, w, tag, true)
 	sl.tel.fillsDDIO.Inc()
 	return false, v
 }
@@ -335,7 +385,7 @@ func (l *LLC) IOWrite(a uint64, ddioMask WayMask) (hit bool, v Victim) {
 // needs no writeback only if nothing else dirtied it again; real hardware
 // keeps it dirty, so we do too — the read has no side effects.
 func (l *LLC) IORead(a uint64) (hit bool) {
-	sl, base := l.locate(a)
+	sl, _, base := l.locate(a)
 	tag := a >> LineShift
 	if w := l.probe(sl, base, tag); w >= 0 {
 		sl.stats.IOReads++
@@ -355,13 +405,13 @@ func (l *LLC) IORead(a uint64) (hit bool) {
 // sterile; without this churn, data parked in idle ways would stay resident
 // forever.
 func (l *LLC) AmbientFill(a uint64) Victim {
-	sl, base := l.locate(a)
+	sl, setIdx, base := l.locate(a)
 	tag := a >> LineShift
 	if l.probe(sl, base, tag) >= 0 {
 		return Victim{}
 	}
-	w := l.victimWay(sl, base, FullMask(l.cfg.Ways))
-	v := l.install(sl, base, w, tag, false)
+	w := l.victimWay(sl, setIdx, base, WayMask(l.fullMask))
+	v := l.install(sl, setIdx, base, w, tag, false)
 	sl.tel.fillsApp.Inc()
 	return v
 }
@@ -369,14 +419,14 @@ func (l *LLC) AmbientFill(a uint64) Victim {
 // Contains reports whether the line holding address a is resident, without
 // disturbing LRU state or counters. Intended for tests and assertions.
 func (l *LLC) Contains(a uint64) bool {
-	sl, base := l.locate(a)
+	sl, _, base := l.locate(a)
 	return l.probe(sl, base, a>>LineShift) >= 0
 }
 
 // WayOf returns the way index currently holding address a, or -1. Intended
 // for tests.
 func (l *LLC) WayOf(a uint64) int {
-	sl, base := l.locate(a)
+	sl, _, base := l.locate(a)
 	return l.probe(sl, base, a>>LineShift)
 }
 
@@ -412,11 +462,8 @@ func (l *LLC) OccupancyByWay() []int {
 	for s := range l.slices {
 		sl := &l.slices[s]
 		for set := 0; set < l.cfg.SetsPerSlice; set++ {
-			base := set * l.cfg.Ways
-			for w := 0; w < l.cfg.Ways; w++ {
-				if sl.state[base+w]&stateValid != 0 {
-					occ[w]++
-				}
+			for m := sl.valid[set]; m != 0; m &= m - 1 {
+				occ[bits.TrailingZeros32(m)]++
 			}
 		}
 	}

@@ -255,9 +255,9 @@ func TestLLCInvariantsProperty(t *testing.T) {
 func TestLocateDeterministicProperty(t *testing.T) {
 	l := testLLC(1)
 	f := func(a uint64) bool {
-		s1, b1 := l.locate(a)
-		s2, b2 := l.locate(a)
-		return s1 == s2 && b1 == b2
+		s1, i1, b1 := l.locate(a)
+		s2, i2, b2 := l.locate(a)
+		return s1 == s2 && i1 == i2 && b1 == b2
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

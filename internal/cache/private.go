@@ -1,40 +1,54 @@
 package cache
 
+import "math/bits"
+
 // private is one private cache level (L1D or L2) of a single core: a plain
 // set-associative cache, address-bit indexed, LRU replaced, write-back and
-// write-allocate.
+// write-allocate. Like the LLC it stores invalidTag in empty ways (so the
+// probe loop reads only the tag array) and keeps a per-set valid bitmask
+// (so the fill path finds a free way with one AND-NOT).
 type private struct {
-	ways    int
-	sets    int
-	setMask uint64
-	tags    []uint64
-	state   []uint8
-	lru     []uint8
-	hits    uint64
-	misses  uint64
+	ways     int
+	sets     int
+	setMask  uint64
+	fullMask uint32
+	tags     []uint64
+	state    []uint8
+	lru      []uint8
+	valid    []uint32
+	hits     uint64
+	misses   uint64
 }
 
 func newPrivate(cfg LevelConfig) *private {
 	sets := cfg.Sets()
 	n := sets * cfg.Ways
+	tags := make([]uint64, n)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
 	return &private{
-		ways:    cfg.Ways,
-		sets:    sets,
-		setMask: uint64(sets - 1),
-		tags:    make([]uint64, n),
-		state:   make([]uint8, n),
-		lru:     make([]uint8, n),
+		ways:     cfg.Ways,
+		sets:     sets,
+		setMask:  uint64(sets - 1),
+		fullMask: uint32(FullMask(cfg.Ways)),
+		tags:     tags,
+		state:    make([]uint8, n),
+		lru:      make([]uint8, n),
+		valid:    make([]uint32, sets),
 	}
 }
 
-func (p *private) locate(a uint64) (base int, tag uint64) {
+func (p *private) locate(a uint64) (set, base int, tag uint64) {
 	line := a >> LineShift
-	return int(line&p.setMask) * p.ways, line
+	set = int(line & p.setMask)
+	return set, set * p.ways, line
 }
 
 func (p *private) probe(base int, tag uint64) int {
-	for w := 0; w < p.ways; w++ {
-		if p.state[base+w]&stateValid != 0 && p.tags[base+w] == tag {
+	tags := p.tags[base : base+p.ways]
+	for w := range tags {
+		if tags[w] == tag {
 			return w
 		}
 	}
@@ -43,6 +57,9 @@ func (p *private) probe(base int, tag uint64) int {
 
 func (p *private) touch(base, w int) {
 	old := p.lru[base+w]
+	if old == 0 {
+		return // already MRU: no rank below can exist
+	}
 	for i := 0; i < p.ways; i++ {
 		if p.lru[base+i] < old {
 			p.lru[base+i]++
@@ -54,7 +71,7 @@ func (p *private) touch(base, w int) {
 // lookup probes for a; on hit it updates LRU (and dirtiness for writes) and
 // returns true.
 func (p *private) lookup(a uint64, write bool) bool {
-	base, tag := p.locate(a)
+	_, base, tag := p.locate(a)
 	if w := p.probe(base, tag); w >= 0 {
 		p.hits++
 		if write {
@@ -69,7 +86,7 @@ func (p *private) lookup(a uint64, write bool) bool {
 
 // fill installs line a, returning the displaced victim (if any).
 func (p *private) fill(a uint64, dirty bool) Victim {
-	base, tag := p.locate(a)
+	set, base, tag := p.locate(a)
 	// The line may already be present (e.g. refetch after invalidate
 	// races in tests); just update it.
 	if w := p.probe(base, tag); w >= 0 {
@@ -79,15 +96,16 @@ func (p *private) fill(a uint64, dirty bool) Victim {
 		p.touch(base, w)
 		return Victim{}
 	}
-	// Choose victim: invalid way first, else LRU-most.
-	vw, rank := 0, -1
-	for w := 0; w < p.ways; w++ {
-		if p.state[base+w]&stateValid == 0 {
-			vw, rank = w, -1
-			break
-		}
-		if r := int(p.lru[base+w]); r > rank {
-			vw, rank = w, r
+	// Choose victim: lowest-indexed invalid way first, else LRU-most.
+	var vw int
+	if inv := p.fullMask &^ p.valid[set]; inv != 0 {
+		vw = bits.TrailingZeros32(inv)
+	} else {
+		rank := -1
+		for w := 0; w < p.ways; w++ {
+			if r := int(p.lru[base+w]); r > rank {
+				vw, rank = w, r
+			}
 		}
 	}
 	var v Victim
@@ -104,6 +122,7 @@ func (p *private) fill(a uint64, dirty bool) Victim {
 	if dirty {
 		p.state[idx] |= stateDirty
 	}
+	p.valid[set] |= 1 << uint(vw)
 	p.touch(base, vw)
 	return v
 }
@@ -111,16 +130,18 @@ func (p *private) fill(a uint64, dirty bool) Victim {
 // invalidate drops line a if present, returning whether it was present and
 // dirty. Used when the DMA engine overwrites a buffer a core has cached.
 func (p *private) invalidate(a uint64) (present, dirty bool) {
-	base, tag := p.locate(a)
+	set, base, tag := p.locate(a)
 	if w := p.probe(base, tag); w >= 0 {
 		dirty = p.state[base+w]&stateDirty != 0
 		p.state[base+w] = 0
+		p.tags[base+w] = invalidTag
+		p.valid[set] &^= 1 << uint(w)
 		return true, dirty
 	}
 	return false, false
 }
 
 func (p *private) contains(a uint64) bool {
-	base, tag := p.locate(a)
+	_, base, tag := p.locate(a)
 	return p.probe(base, tag) >= 0
 }

@@ -1,0 +1,304 @@
+package cache
+
+import (
+	"testing"
+)
+
+// refLLC is an executable specification of the LLC's replacement
+// behaviour, kept deliberately naive: linear probes over (valid, tag)
+// pairs, modulo-rotated victim scans, one-step-at-a-time SRRIP ageing.
+// It is the pre-optimisation algorithm, transcribed before the hot-path
+// rewrite; the differential tests below drive the production LLC and
+// this spec through identical operation streams and require identical
+// hits, victims and final state. The LRU insert path implements the
+// drift-free semantics (age only lines younger than the evicted line's
+// rank), which is the behaviour the production lruInsert is required to
+// have after the mask-shrink age-corruption fix.
+type refLLC struct {
+	cfg     LLCConfig
+	tags    [][]uint64
+	valid   [][]bool
+	dirty   [][]bool
+	rrpv    [][]uint8
+	setMask uint64
+	vicRR   uint32
+}
+
+func newRefLLC(cfg LLCConfig) *refLLC {
+	r := &refLLC{cfg: cfg, setMask: uint64(cfg.SetsPerSlice - 1)}
+	n := cfg.SetsPerSlice * cfg.Ways
+	for s := 0; s < cfg.Slices; s++ {
+		r.tags = append(r.tags, make([]uint64, n))
+		r.valid = append(r.valid, make([]bool, n))
+		r.dirty = append(r.dirty, make([]bool, n))
+		r.rrpv = append(r.rrpv, make([]uint8, n))
+	}
+	return r
+}
+
+func (r *refLLC) locate(a uint64) (s, base int) {
+	h := hashLine(a >> LineShift)
+	return int(h % uint64(r.cfg.Slices)), int((h>>24)&r.setMask) * r.cfg.Ways
+}
+
+func (r *refLLC) probe(s, base int, tag uint64) int {
+	for w := 0; w < r.cfg.Ways; w++ {
+		if r.valid[s][base+w] && r.tags[s][base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+func (r *refLLC) lruPromote(s, base, w int) {
+	old := r.rrpv[s][base+w]
+	for i := 0; i < r.cfg.Ways; i++ {
+		if r.valid[s][base+i] && i != w && r.rrpv[s][base+i] < old {
+			r.rrpv[s][base+i]++
+		}
+	}
+	r.rrpv[s][base+w] = 0
+}
+
+func (r *refLLC) victimWay(s, base int, mask WayMask) int {
+	for w := 0; w < r.cfg.Ways; w++ {
+		if mask.Has(w) && !r.valid[s][base+w] {
+			return w
+		}
+	}
+	if r.cfg.Policy == PolicyLRU {
+		best, bestRank := -1, -1
+		for w := 0; w < r.cfg.Ways; w++ {
+			if !mask.Has(w) {
+				continue
+			}
+			if rk := int(r.rrpv[s][base+w]); rk > bestRank {
+				best, bestRank = w, rk
+			}
+		}
+		return best
+	}
+	r.vicRR++
+	start := int(r.vicRR) % r.cfg.Ways
+	for {
+		best, bestRRPV := -1, -1
+		for i := 0; i < r.cfg.Ways; i++ {
+			w := (start + i) % r.cfg.Ways
+			if !mask.Has(w) {
+				continue
+			}
+			if v := int(r.rrpv[s][base+w]); v > bestRRPV {
+				best, bestRRPV = w, v
+			}
+		}
+		if best < 0 || bestRRPV >= int(rrpvMax) {
+			return best
+		}
+		for w := 0; w < r.cfg.Ways; w++ {
+			if mask.Has(w) {
+				r.rrpv[s][base+w]++
+			}
+		}
+	}
+}
+
+func (r *refLLC) install(s, base, w int, tag uint64, dirty bool) Victim {
+	var v Victim
+	idx := base + w
+	victimRank := ^uint8(0)
+	if r.valid[s][idx] {
+		v = Victim{Addr: r.tags[s][idx] << LineShift, Valid: true, Dirty: r.dirty[s][idx]}
+		victimRank = r.rrpv[s][idx]
+	}
+	r.tags[s][idx] = tag
+	r.valid[s][idx] = true
+	r.dirty[s][idx] = dirty
+	if r.cfg.Policy == PolicyLRU {
+		// Drift-free LRU insert: the new line takes rank 0 and only
+		// lines younger than the departed line's rank age, so ranks of
+		// valid lines stay a permutation prefix 0..k-1 forever.
+		for i := 0; i < r.cfg.Ways; i++ {
+			if r.valid[s][base+i] && i != w && r.rrpv[s][base+i] < victimRank {
+				r.rrpv[s][base+i]++
+			}
+		}
+		r.rrpv[s][idx] = 0
+	} else {
+		r.rrpv[s][idx] = rrpvInsert
+	}
+	return v
+}
+
+func (r *refLLC) Access(a uint64, write bool, mask WayMask) (bool, Victim) {
+	s, base := r.locate(a)
+	tag := a >> LineShift
+	if w := r.probe(s, base, tag); w >= 0 {
+		if write {
+			r.dirty[s][base+w] = true
+		}
+		if r.cfg.Policy == PolicyLRU {
+			r.lruPromote(s, base, w)
+		}
+		return true, Victim{}
+	}
+	if mask == 0 {
+		mask = FullMask(r.cfg.Ways)
+	}
+	w := r.victimWay(s, base, mask)
+	return false, r.install(s, base, w, tag, write)
+}
+
+func (r *refLLC) FillWriteback(a uint64, mask WayMask) Victim {
+	s, base := r.locate(a)
+	tag := a >> LineShift
+	if w := r.probe(s, base, tag); w >= 0 {
+		r.dirty[s][base+w] = true
+		if r.cfg.Policy == PolicyLRU {
+			r.lruPromote(s, base, w)
+		} else {
+			r.rrpv[s][base+w] = rrpvInsert
+		}
+		return Victim{}
+	}
+	if mask == 0 {
+		mask = FullMask(r.cfg.Ways)
+	}
+	return r.install(s, base, r.victimWay(s, base, mask), tag, true)
+}
+
+func (r *refLLC) IOWrite(a uint64, ddioMask WayMask) (bool, Victim) {
+	s, base := r.locate(a)
+	tag := a >> LineShift
+	if w := r.probe(s, base, tag); w >= 0 {
+		r.dirty[s][base+w] = true
+		if r.cfg.Policy == PolicyLRU {
+			r.lruPromote(s, base, w)
+		} else {
+			r.rrpv[s][base+w] = 0
+		}
+		return true, Victim{}
+	}
+	if ddioMask == 0 {
+		ddioMask = FullMask(r.cfg.Ways)
+	}
+	return false, r.install(s, base, r.victimWay(s, base, ddioMask), tag, true)
+}
+
+func (r *refLLC) IORead(a uint64) bool {
+	s, base := r.locate(a)
+	return r.probe(s, base, a>>LineShift) >= 0
+}
+
+func (r *refLLC) AmbientFill(a uint64) Victim {
+	s, base := r.locate(a)
+	tag := a >> LineShift
+	if r.probe(s, base, tag) >= 0 {
+		return Victim{}
+	}
+	full := FullMask(r.cfg.Ways)
+	return r.install(s, base, r.victimWay(s, base, full), tag, false)
+}
+
+// WayOf mirrors LLC.WayOf for state comparison.
+func (r *refLLC) WayOf(a uint64) int {
+	s, base := r.locate(a)
+	return r.probe(s, base, a>>LineShift)
+}
+
+// diffSplitmix is a tiny local PRNG so the differential op streams are
+// seeded and self-contained.
+type diffSplitmix uint64
+
+func (s *diffSplitmix) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// runDifferential drives the production LLC and the reference spec
+// through nOps randomized operations (demand accesses, writeback fills,
+// DDIO writes, device reads, ambient fills) under rotating, frequently
+// shrinking way masks, failing on the first divergence in hit results or
+// displaced victims, then cross-checks residency for a sample of the
+// address space.
+func runDifferential(t *testing.T, policy ReplacementPolicy, seed uint64, nOps int) {
+	t.Helper()
+	cfg := LLCConfig{Slices: 3, Ways: 11, SetsPerSlice: 16, HitCycles: 44, Policy: policy}
+	l := NewLLC(cfg, 2)
+	r := newRefLLC(cfg)
+	rng := diffSplitmix(seed)
+
+	// Small address pool so sets actually fill and evict.
+	const addrs = 3 * 11 * 16 * 3
+	masks := []WayMask{
+		FullMask(11),
+		ContiguousMask(0, 4),
+		ContiguousMask(2, 5),   // overlaps the first partially
+		ContiguousMask(7, 4),   // disjoint high ways
+		ContiguousMask(0, 1),   // maximal shrink
+		WayMask(0b10101010101), // non-contiguous: the general datapath case
+	}
+	for i := 0; i < nOps; i++ {
+		a := (rng.next() % addrs) << LineShift
+		mask := masks[rng.next()%uint64(len(masks))]
+		op := rng.next() % 8
+		switch {
+		case op < 4: // demand access, read or write
+			write := op%2 == 0
+			gotHit, gotV := l.Access(int(rng.next()%2), a, write, mask)
+			wantHit, wantV := r.Access(a, write, mask)
+			if gotHit != wantHit || gotV != wantV {
+				t.Fatalf("op %d Access(%#x, write=%v, mask=%s): got (%v,%+v) want (%v,%+v)",
+					i, a, write, mask, gotHit, gotV, wantHit, wantV)
+			}
+		case op < 5:
+			gotV := l.FillWriteback(a, mask)
+			wantV := r.FillWriteback(a, mask)
+			if gotV != wantV {
+				t.Fatalf("op %d FillWriteback(%#x, mask=%s): got %+v want %+v", i, a, mask, gotV, wantV)
+			}
+		case op < 6:
+			gotHit, gotV := l.IOWrite(a, mask)
+			wantHit, wantV := r.IOWrite(a, mask)
+			if gotHit != wantHit || gotV != wantV {
+				t.Fatalf("op %d IOWrite(%#x, mask=%s): got (%v,%+v) want (%v,%+v)",
+					i, a, mask, gotHit, gotV, wantHit, wantV)
+			}
+		case op < 7:
+			if got, want := l.IORead(a), r.IORead(a); got != want {
+				t.Fatalf("op %d IORead(%#x): got %v want %v", i, a, got, want)
+			}
+		default:
+			gotV := l.AmbientFill(a)
+			wantV := r.AmbientFill(a)
+			if gotV != wantV {
+				t.Fatalf("op %d AmbientFill(%#x): got %+v want %+v", i, a, gotV, wantV)
+			}
+		}
+	}
+	for a := uint64(0); a < addrs; a++ {
+		addr := a << LineShift
+		if got, want := l.WayOf(addr), r.WayOf(addr); got != want {
+			t.Fatalf("final state: WayOf(%#x) = %d, ref %d", addr, got, want)
+		}
+	}
+}
+
+// TestLLCDifferentialSRRIP proves the optimised SRRIP datapath (sentinel
+// probes, batched ageing, rotation without modulo) is operation-for-
+// operation identical to the naive pre-optimisation algorithm.
+func TestLLCDifferentialSRRIP(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xDEADBEEF} {
+		runDifferential(t, PolicySRRIP, seed, 60000)
+	}
+}
+
+// TestLLCDifferentialLRU proves the LRU path matches the drift-free
+// reference semantics under the same streams, mask shrinks included.
+func TestLLCDifferentialLRU(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xDEADBEEF} {
+		runDifferential(t, PolicyLRU, seed, 60000)
+	}
+}

@@ -112,7 +112,7 @@ type Daemon struct {
 	// from exactly that stream.
 	Tel telemetry.Sink
 
-	telState State   // last state published to Tel
+	telState State   // last state announced by emit (published when Tel is set)
 	nowNS    float64 // current iteration's sim time, for apply()-time events
 }
 
@@ -553,12 +553,18 @@ func (d *Daemon) emitMask(detail string) {
 // emit publishes the iteration trace to OnIteration and the telemetry
 // event stream.
 func (d *Daemon) emit(nowNS float64, cur intervalSample, stable bool, action string) {
-	if d.Tel != nil && d.state != d.telState {
-		d.Tel.Emit(telemetry.Event{
-			TimeNS: nowNS, Sev: telemetry.SevInfo,
-			Subsystem: "daemon", Name: "state",
-			Detail: d.telState.String() + "->" + d.state.String(),
-		})
+	if d.state != d.telState {
+		// telState advances even with no sink attached: it is part of
+		// the checkpointed daemon state, and a checkpoint written by a
+		// sink-less run must byte-match a replay that happens to carry
+		// -trace/-telemetry (and vice versa).
+		if d.Tel != nil {
+			d.Tel.Emit(telemetry.Event{
+				TimeNS: nowNS, Sev: telemetry.SevInfo,
+				Subsystem: "daemon", Name: "state",
+				Detail: d.telState.String() + "->" + d.state.String(),
+			})
+		}
 		d.telState = d.state
 	}
 	if d.OnIteration == nil && d.Tel == nil {

@@ -115,6 +115,7 @@ type File struct {
 	handlers map[uint32]ReadHandler
 	hook     FaultHook
 	ops      Ops
+	gen      uint64
 }
 
 // NewFile returns an empty register file.
@@ -130,6 +131,7 @@ func (f *File) MapRead(addr uint32, h ReadHandler) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.handlers[addr] = h
+	f.gen++
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault hook applied to
@@ -176,6 +178,7 @@ func (f *File) Write(addr uint32, v uint64) error {
 		v = stored
 	}
 	f.regs[addr] = v
+	f.gen++
 	return nil
 }
 
@@ -195,4 +198,15 @@ func (f *File) Ops() Ops {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.ops
+}
+
+// Generation returns a counter that advances on every mutation of the
+// file's contents (Write or MapRead). Datapath-side caches of register-
+// derived state (the effective CAT mask of a core, the DDIO way mask) key
+// their validity on it: an unchanged generation guarantees every register
+// still Peeks the same value.
+func (f *File) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
 }

@@ -34,12 +34,22 @@ type Entry struct {
 // live in simulated memory (one line each, as 4 hardware descriptors of 16B
 // share a line but DPDK touches them line by line); the stored Go values
 // carry the metadata.
+// Occupancy is head-tail over free-running uint64 counts, so an exactly-
+// full ring (Len == entries) is unambiguously distinct from an empty one
+// (head == tail) — no slot is sacrificed the way index-only rings must.
+// The slot positions are maintained incrementally (prod, cons) rather
+// than recomputed as head%entries: besides dropping a modulo from the
+// per-packet path, this keeps the slot sequence correct for rings whose
+// entry count is not a power of two, where the recomputation desyncs by
+// (2^64 mod entries) when the free-running count wraps.
 type Ring struct {
 	entries int
 	desc    addr.Region
 	slots   []Entry
 	head    uint64 // producer count
 	tail    uint64 // consumer count
+	prod    int    // slot the next Push fills (== head mod entries)
+	cons    int    // slot the next Pop drains (== tail mod entries)
 }
 
 // NewRing allocates a ring of n entries with descriptor lines from al.
@@ -69,14 +79,21 @@ func (r *Ring) Empty() bool { return r.head == r.tail }
 // DescAddr returns the descriptor line address of slot i.
 func (r *Ring) DescAddr(i int) uint64 { return r.desc.Line(i) }
 
+// ProducerSlot returns the slot index the next Push will fill (the slot a
+// fully pre-posted Rx ring has a buffer waiting in).
+func (r *Ring) ProducerSlot() int { return r.prod }
+
 // Push enqueues e, returning the slot index, or -1 if the ring is full.
 func (r *Ring) Push(e Entry) int {
 	if r.Full() {
 		return -1
 	}
-	i := int(r.head % uint64(r.entries))
+	i := r.prod
 	r.slots[i] = e
 	r.head++
+	if r.prod++; r.prod == r.entries {
+		r.prod = 0
+	}
 	return i
 }
 
@@ -86,7 +103,7 @@ func (r *Ring) Peek() (i int, e Entry, ok bool) {
 	if r.Empty() {
 		return 0, Entry{}, false
 	}
-	i = int(r.tail % uint64(r.entries))
+	i = r.cons
 	return i, r.slots[i], true
 }
 
@@ -95,6 +112,9 @@ func (r *Ring) Pop() (i int, e Entry, ok bool) {
 	i, e, ok = r.Peek()
 	if ok {
 		r.tail++
+		if r.cons++; r.cons == r.entries {
+			r.cons = 0
+		}
 	}
 	return
 }
@@ -343,7 +363,7 @@ func (d *Device) DeliverRx(i int, p pkt.Packet, nowNS float64) bool {
 		vf.tel.rxDrops.Inc()
 		return false
 	}
-	slot := int(vf.Rx.head % uint64(vf.Rx.entries))
+	slot := vf.Rx.ProducerSlot()
 	if !vf.postedOK[slot] {
 		// No buffer posted (pool exhausted at replenish time).
 		vf.Stats.RxDrops++
@@ -390,13 +410,14 @@ func (d *Device) DrainTx(i int, dtNS float64) int {
 		vf.Pool.Put(e.Buf)
 		vf.Stats.TxPackets++
 		vf.Stats.TxBytes += uint64(e.Pkt.Size)
-		vf.tel.txPackets.Inc()
 		sent++
 		if d.OnTx != nil {
 			d.OnTx(i, e)
 		}
 	}
 	if sent > 0 {
+		// One batched counter update per drain, not one per packet.
+		vf.tel.txPackets.Add(uint64(sent))
 		vf.tel.txOcc.Set(float64(vf.Tx.Len()))
 	}
 	return sent

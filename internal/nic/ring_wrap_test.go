@@ -1,0 +1,174 @@
+package nic
+
+import (
+	"testing"
+
+	"iatsim/internal/addr"
+	"iatsim/internal/pkt"
+	"iatsim/internal/telemetry"
+)
+
+// TestRingExactlyFull is the table test for the boundary states of every
+// interesting ring geometry: with free-running head/tail counts an
+// exactly-full ring (Len == entries) is distinct from an empty one
+// (head == tail), no slot is sacrificed, and the first push after a pop
+// reuses the oldest slot.
+func TestRingExactlyFull(t *testing.T) {
+	for _, entries := range []int{1, 2, 3, 7, 8, 1024} {
+		al := addr.NewAllocator(0)
+		r := NewRing(entries, al)
+		if !r.Empty() || r.Full() || r.Len() != 0 {
+			t.Fatalf("entries=%d: fresh ring empty=%v full=%v len=%d", entries, r.Empty(), r.Full(), r.Len())
+		}
+		for i := 0; i < entries; i++ {
+			if slot := r.Push(Entry{Buf: uint64(i)}); slot != i {
+				t.Fatalf("entries=%d: push %d landed in slot %d", entries, i, slot)
+			}
+		}
+		if !r.Full() || r.Empty() || r.Len() != entries {
+			t.Fatalf("entries=%d: exactly-full ring full=%v empty=%v len=%d", entries, r.Full(), r.Empty(), r.Len())
+		}
+		if r.Push(Entry{Buf: 999}) != -1 {
+			t.Fatalf("entries=%d: push into exactly-full ring succeeded", entries)
+		}
+		if r.Len() != entries {
+			t.Fatalf("entries=%d: rejected push changed occupancy to %d", entries, r.Len())
+		}
+		// Pop one: the ring is no longer full, and the freed slot (the
+		// oldest) is exactly where the next push lands.
+		slot, e, ok := r.Pop()
+		if !ok || slot != 0 || e.Buf != 0 {
+			t.Fatalf("entries=%d: first pop slot=%d buf=%d ok=%v", entries, slot, e.Buf, ok)
+		}
+		if r.Full() {
+			t.Fatalf("entries=%d: ring still full after pop", entries)
+		}
+		if got := r.Push(Entry{Buf: 1000}); got != 0 {
+			t.Fatalf("entries=%d: wrap push landed in slot %d, want 0", entries, got)
+		}
+		if !r.Full() || r.Len() != entries {
+			t.Fatalf("entries=%d: refill full=%v len=%d", entries, r.Full(), r.Len())
+		}
+	}
+}
+
+// TestRingSlotSequenceAcrossCounterWrap pins the non-power-of-two wrap
+// bug: the old code recomputed slots as head%entries from the
+// free-running counts, so when head wrapped through 2^64 the slot
+// sequence jumped by 2^64 mod entries (for 3 entries: ..2, 0, 0, 1..,
+// repeating a slot while another still held a live entry). The
+// maintained prod/cons indices advance 0,1,2,0,1,2 regardless of what
+// the occupancy counts do.
+func TestRingSlotSequenceAcrossCounterWrap(t *testing.T) {
+	for _, entries := range []int{3, 7} {
+		al := addr.NewAllocator(0)
+		r := NewRing(entries, al)
+		// Park the free-running counts two pushes short of the uint64
+		// wrap. prod/cons stay authoritative for slot positions; the
+		// counts only carry occupancy.
+		r.head = ^uint64(0) - 1
+		r.tail = r.head
+		wantSlot := 0
+		for i := 0; i < 3*entries; i++ { // crosses the wrap on push 2
+			got := r.Push(Entry{Buf: uint64(i)})
+			if got != wantSlot {
+				t.Fatalf("entries=%d: push %d landed in slot %d, want %d", entries, i, got, wantSlot)
+			}
+			slot, e, ok := r.Pop()
+			if !ok || slot != wantSlot || e.Buf != uint64(i) {
+				t.Fatalf("entries=%d: pop %d got slot=%d buf=%d ok=%v, want slot %d buf %d",
+					entries, i, slot, e.Buf, ok, wantSlot, i)
+			}
+			if r.Len() != 0 || !r.Empty() {
+				t.Fatalf("entries=%d: occupancy drifted at op %d: len=%d", entries, i, r.Len())
+			}
+			if wantSlot++; wantSlot == entries {
+				wantSlot = 0
+			}
+		}
+	}
+}
+
+// TestDeliverRxAccountingAtExactlyFull drives a device ring to exactly
+// full and checks the drop/occupancy accounting table: every overrun
+// arrival is one drop (no double count, no occupancy movement), and the
+// occupancy gauge last reads the true full depth.
+func TestDeliverRxAccountingAtExactlyFull(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "eth", RxEntries: 4, TxEntries: 4, VFs: 1}, eng, al)
+	reg := telemetry.NewRegistry()
+	d.AttachTelemetry(reg)
+	vf := d.VF(0)
+
+	cases := []struct {
+		deliver   int
+		wantPkts  uint64
+		wantDrops uint64
+		wantLen   int
+	}{
+		{4, 4, 0, 4}, // fills to exactly full
+		{1, 4, 1, 4}, // first overrun arrival drops
+		{3, 4, 4, 4}, // every further arrival drops, occupancy pinned
+	}
+	for i, tc := range cases {
+		for k := 0; k < tc.deliver; k++ {
+			d.DeliverRx(0, pkt.Packet{Size: 64}, 0)
+		}
+		if vf.Stats.RxPackets != tc.wantPkts || vf.Stats.RxDrops != tc.wantDrops {
+			t.Fatalf("case %d: packets=%d drops=%d, want %d/%d",
+				i, vf.Stats.RxPackets, vf.Stats.RxDrops, tc.wantPkts, tc.wantDrops)
+		}
+		if vf.Rx.Len() != tc.wantLen {
+			t.Fatalf("case %d: ring len %d, want %d", i, vf.Rx.Len(), tc.wantLen)
+		}
+	}
+	if got := reg.Counter("nic", vf.Name, "rx_drops").Value(); got != 4 {
+		t.Fatalf("rx_drops counter = %d, want 4", got)
+	}
+	if got := reg.Gauge("nic", vf.Name, "rx_ring_occupancy").Value(); got != 4 {
+		t.Fatalf("rx occupancy gauge = %v, want 4 (the true full depth)", got)
+	}
+}
+
+// TestDrainTxStallAtExactlyFull: an injected nic-stall against an
+// exactly-full Tx ring must not move occupancy, must not count packets,
+// and must not batch any telemetry — and the post-stall drain transmits
+// the exact FIFO contents with one counter update.
+func TestDrainTxStallAtExactlyFull(t *testing.T) {
+	eng, al := newEngine()
+	d := NewDevice(Config{Name: "eth", RxEntries: 4, TxEntries: 4, VFs: 1}, eng, al)
+	reg := telemetry.NewRegistry()
+	d.AttachTelemetry(reg)
+	d.SetFaults(&scriptedFaults{stall: []bool{true}})
+	vf := d.VF(0)
+	for i := 0; i < 4; i++ {
+		buf, _ := vf.Pool.Get()
+		if vf.Tx.Push(Entry{Pkt: pkt.Packet{Size: 64}, Buf: buf}) < 0 {
+			t.Fatal("setup: Tx push failed")
+		}
+	}
+	if !vf.Tx.Full() {
+		t.Fatal("setup: Tx ring not exactly full")
+	}
+	if sent := d.DrainTx(0, 1e6); sent != 0 {
+		t.Fatalf("stalled drain sent %d", sent)
+	}
+	if vf.Tx.Len() != 4 || vf.Stats.TxPackets != 0 || vf.Stats.InjectedTxStalls != 1 {
+		t.Fatalf("after stall: len=%d stats=%+v", vf.Tx.Len(), vf.Stats)
+	}
+	if got := reg.Counter("nic", vf.Name, "tx_packets").Value(); got != 0 {
+		t.Fatalf("tx_packets counter moved during stall: %d", got)
+	}
+	if sent := d.DrainTx(0, 1e6); sent != 4 {
+		t.Fatalf("post-stall drain sent %d, want 4", sent)
+	}
+	if got := reg.Counter("nic", vf.Name, "tx_packets").Value(); got != 4 {
+		t.Fatalf("tx_packets counter = %d, want 4", got)
+	}
+	if got := reg.Gauge("nic", vf.Name, "tx_ring_occupancy").Value(); got != 0 {
+		t.Fatalf("tx occupancy gauge = %v, want 0", got)
+	}
+	if vf.Tx.Len() != 0 || !vf.Tx.Empty() {
+		t.Fatalf("drained ring len=%d", vf.Tx.Len())
+	}
+}

@@ -1,0 +1,141 @@
+// Package prof wires Go's runtime profilers into the CLI binaries
+// (iatd, fleetd, experiments): a -cpuprofile/-memprofile pair for
+// offline pprof analysis of a single run, and an optional -pprof live
+// endpoint for poking at a long run in flight.
+//
+// Profiling observes host wall-time and is — like the harness's
+// wall-clock accounting — explicitly outside the determinism guarantee:
+// nothing here feeds simulated state, and a run's recorded output is
+// byte-identical with and without profiling enabled.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Opts holds the three profiling flag values shared by every binary.
+// The zero value disables everything.
+type Opts struct {
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write a heap profile to this file at stop
+	PprofAddr  string // serve live pprof endpoints on this address
+}
+
+// RegisterFlags installs the profiling flags on fs (pass
+// flag.CommandLine for binaries using the global flag set).
+func (o *Opts) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve live net/http/pprof endpoints on this address (e.g. localhost:6060)")
+}
+
+// Profiler is one started profiling session. The zero value (nothing
+// requested) is valid and Stop on it is a no-op.
+type Profiler struct {
+	cpu *os.File
+	mem *os.File
+	srv *http.Server
+	ln  net.Listener
+
+	// Addr is the listener's resolved address when -pprof is active
+	// (useful when the flag asked for port 0), empty otherwise.
+	Addr string
+}
+
+// Start begins everything o requests. Every output path and the listen
+// address are validated here — including the -memprofile file, which is
+// created eagerly even though it is only written at Stop — so a bad
+// flag value fails fast (the callers map the error to exit 2) instead
+// of after a long run. On error nothing stays running.
+func (o *Opts) Start() (*Profiler, error) {
+	p := &Profiler{}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			p.shutdown()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpu = f
+		if err := pprof.StartCPUProfile(f); err != nil {
+			p.shutdown()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if o.MemProfile != "" {
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			p.shutdown()
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		p.mem = f
+	}
+	if o.PprofAddr != "" {
+		ln, err := net.Listen("tcp", o.PprofAddr)
+		if err != nil {
+			p.shutdown()
+			return nil, fmt.Errorf("-pprof: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		p.ln, p.srv, p.Addr = ln, &http.Server{Handler: mux}, ln.Addr().String()
+		go p.srv.Serve(ln) //simlint:ignore detlint the pprof debug endpoint serves host-side observers; nothing it touches feeds simulated state
+	}
+	return p, nil
+}
+
+// Stop finishes the session: the CPU profile is flushed and closed, the
+// heap profile is captured (after a GC, so the profile reflects live
+// objects rather than garbage) and written, and the live endpoint shut
+// down. The first error wins but every teardown step still runs.
+func (p *Profiler) Stop() error {
+	var first error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil && first == nil {
+			first = fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.mem != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(p.mem); err != nil && first == nil {
+			first = fmt.Errorf("-memprofile: %w", err)
+		}
+		if err := p.mem.Close(); err != nil && first == nil {
+			first = fmt.Errorf("-memprofile: %w", err)
+		}
+		p.mem = nil
+	}
+	p.shutdown()
+	return first
+}
+
+// shutdown tears down whatever is running without touching profile
+// contents (the error-path half of Start, reused by Stop for the
+// listener).
+func (p *Profiler) shutdown() {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		p.cpu.Close()
+		p.cpu = nil
+	}
+	if p.mem != nil {
+		p.mem.Close()
+		p.mem = nil
+	}
+	if p.srv != nil {
+		p.srv.Close()
+		p.srv, p.ln, p.Addr = nil, nil, ""
+	}
+}

@@ -1,0 +1,135 @@
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestZeroValueIsNoOp: with no flags set, Start hands back a session
+// whose Stop does nothing — the default path every unprofiled run takes.
+func TestZeroValueIsNoOp(t *testing.T) {
+	var o Opts
+	p, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != "" {
+		t.Fatalf("no -pprof flag but Addr = %q", p.Addr)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilesWritten: a started-and-stopped session leaves non-empty
+// pprof files at both flag paths.
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	o := Opts{
+		CPUProfile: filepath.Join(dir, "cpu.pb.gz"),
+		MemProfile: filepath.Join(dir, "mem.pb.gz"),
+	}
+	p, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to say.
+	var sink []byte
+	s := 0
+	for i := 0; i < 1<<20; i++ {
+		s += i
+		if i%(1<<18) == 0 {
+			sink = append(sink, make([]byte, 1<<16)...)
+		}
+	}
+	_ = sink
+	if s == 0 {
+		t.Fatal("unreachable")
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{o.CPUProfile, o.MemProfile} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+// TestBadPathsFailFast: every invalid flag value must surface at Start —
+// the -memprofile path included, even though its file is only written at
+// Stop — so the CLIs can exit 2 before simulating anything.
+func TestBadPathsFailFast(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "out.pb.gz")
+	cases := []Opts{
+		{CPUProfile: missing},
+		{MemProfile: missing},
+		{PprofAddr: "999.999.999.999:0"},
+	}
+	for i, o := range cases {
+		p, err := o.Start()
+		if err == nil {
+			p.Stop()
+			t.Fatalf("case %d (%+v): Start succeeded", i, o)
+		}
+	}
+}
+
+// TestLiveEndpoint: -pprof on an ephemeral port serves the pprof index
+// and goes away at Stop.
+func TestLiveEndpoint(t *testing.T) {
+	o := Opts{PprofAddr: "127.0.0.1:0"}
+	p, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr == "" {
+		t.Fatal("no resolved listen address")
+	}
+	url := fmt.Sprintf("http://%s/debug/pprof/", p.Addr)
+	resp, err := http.Get(url)
+	if err != nil {
+		p.Stop()
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		p.Stop()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		p.Stop()
+		t.Fatalf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("endpoint still serving after Stop")
+	}
+}
+
+// TestRegisterFlags: the flag names and defaults are the contract the
+// three binaries share.
+func TestRegisterFlags(t *testing.T) {
+	var o Opts
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-pprof", "addr"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.CPUProfile != "a" || o.MemProfile != "b" || o.PprofAddr != "addr" {
+		t.Fatalf("parsed opts = %+v", o)
+	}
+}

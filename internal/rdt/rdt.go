@@ -107,6 +107,20 @@ type Config struct {
 type Controller struct {
 	cfg Config
 	f   *msr.File
+
+	// Datapath memoization. The cache model resolves MaskForCore on every
+	// fill and the MBA model resolves MBAThrottleForCore after every missing
+	// microtick — each a two-register indirection through the register
+	// file's mutex. Both resolutions are pure functions of register
+	// contents, so they are cached per core and invalidated wholesale when
+	// the file's generation moves (any wrmsr). Peek-based and therefore
+	// invisible to the Ops accounting and the fault hook, exactly like the
+	// hardware datapath the pre-memoized MBAThrottleForCore modelled.
+	memoGen  uint64
+	maskOK   []bool
+	maskMemo []cache.WayMask
+	mbaOK    []bool
+	mbaMemo  []int
 }
 
 // New builds a controller over the register file. It programs every CLOS to
@@ -122,7 +136,14 @@ func New(cfg Config, f *msr.File) (*Controller, error) {
 	if cfg.MinWays == 0 {
 		cfg.MinWays = 1
 	}
-	c := &Controller{cfg: cfg, f: f}
+	c := &Controller{
+		cfg:      cfg,
+		f:        f,
+		maskOK:   make([]bool, cfg.Cores),
+		maskMemo: make([]cache.WayMask, cfg.Cores),
+		mbaOK:    make([]bool, cfg.Cores),
+		mbaMemo:  make([]int, cfg.Cores),
+	}
 	full := cache.FullMask(cfg.Ways)
 	for clos := 0; clos < cfg.NumCLOS; clos++ {
 		if err := f.Write(msr.L3MaskAddr(clos), uint64(full)); err != nil {
@@ -182,10 +203,34 @@ func (c *Controller) CoreCLOS(core int) int {
 	return int(c.f.Read(msr.PQRAssocAddr(core)))
 }
 
+// refreshMemo drops every memoized datapath resolution when the register
+// file has mutated since the memo was built.
+func (c *Controller) refreshMemo() {
+	g := c.f.Generation()
+	if g == c.memoGen {
+		return
+	}
+	c.memoGen = g
+	for i := range c.maskOK {
+		c.maskOK[i] = false
+		c.mbaOK[i] = false
+	}
+}
+
 // MaskForCore resolves the effective allocation mask of a core (its CLOS's
-// CBM). The cache model consults this on every fill.
+// CBM). The cache model consults this on every fill, so the resolution is
+// memoized per core against the register file's generation; like the
+// hardware datapath it does not charge management-plane MSR operations.
 func (c *Controller) MaskForCore(core int) cache.WayMask {
-	return c.CLOSMask(c.CoreCLOS(core))
+	c.refreshMemo()
+	if c.maskOK[core] {
+		return c.maskMemo[core]
+	}
+	clos := int(c.f.Peek(msr.PQRAssocAddr(core)))
+	m := cache.WayMask(c.f.Peek(msr.L3MaskAddr(clos)))
+	c.maskMemo[core] = m
+	c.maskOK[core] = true
+	return m
 }
 
 // SetDDIOMask programs the IIO_LLC_WAYS register. The same contiguity rule
@@ -228,10 +273,17 @@ func (c *Controller) MBAThrottle(clos int) int {
 
 // MBAThrottleForCore resolves the effective throttle of a core's CLOS
 // without charging management-plane MSR operations (the hardware datapath
-// consults it on every memory request).
+// consults it on every memory request). Memoized like MaskForCore.
 func (c *Controller) MBAThrottleForCore(core int) int {
+	c.refreshMemo()
+	if c.mbaOK[core] {
+		return c.mbaMemo[core]
+	}
 	clos := int(c.f.Peek(msr.PQRAssocAddr(core)))
-	return int(c.f.Peek(msr.MBAThrtlAddr(clos)))
+	t := int(c.f.Peek(msr.MBAThrtlAddr(clos)))
+	c.mbaMemo[core] = t
+	c.mbaOK[core] = true
+	return t
 }
 
 // ReadCore reads the four per-core event counters of one core (4 rdmsr

@@ -1,0 +1,105 @@
+package rdt
+
+import (
+	"testing"
+
+	"iatsim/internal/cache"
+)
+
+// TestCounterDeltaWrap pins the 48-bit modular delta at the wrap boundary:
+// a counter that rolled through 2^48-1 between two polls must yield its
+// true small delta, not a huge two's-complement residue.
+func TestCounterDeltaWrap(t *testing.T) {
+	const max = (uint64(1) << CounterBits) - 1
+	cases := []struct {
+		prev, cur, want uint64
+	}{
+		{0, 0, 0},
+		{100, 100, 0},
+		{100, 250, 150},
+		{max, 0, 1},     // exact wrap through the top
+		{max - 4, 3, 8}, // wrap with activity on both sides
+		{max, max, 0},   // parked at the boundary
+		{0, max, max},   // full-range forward delta
+		{5, 2, max - 2}, // backwards glitch shows as a near-full delta
+		{1 << 47, 1<<47 + 7, 7},
+	}
+	for i, tc := range cases {
+		if got := counterDelta(tc.cur, tc.prev); got != tc.want {
+			t.Errorf("case %d: counterDelta(%#x, %#x) = %#x, want %#x", i, tc.cur, tc.prev, got, tc.want)
+		}
+	}
+}
+
+// TestCountersSubWrap drives every CoreCounters and DDIOCounters field
+// through the 2^48-1 boundary at once.
+func TestCountersSubWrap(t *testing.T) {
+	const max = (uint64(1) << CounterBits) - 1
+	prev := CoreCounters{Instructions: max - 1, Cycles: max, LLCRefs: max - 9, LLCMisses: 3}
+	cur := CoreCounters{Instructions: 8, Cycles: 0, LLCRefs: 0, LLCMisses: 5}
+	d := cur.Sub(prev)
+	if d.Instructions != 10 || d.Cycles != 1 || d.LLCRefs != 10 || d.LLCMisses != 2 {
+		t.Fatalf("wrapped core delta = %+v", d)
+	}
+	dd := DDIOCounters{Hits: 2, Misses: 0}.Sub(DDIOCounters{Hits: max, Misses: max - 4})
+	if dd.Hits != 3 || dd.Misses != 5 {
+		t.Fatalf("wrapped ddio delta = %+v", dd)
+	}
+}
+
+// TestMaskMemoInvalidation: the memoized MaskForCore/MBAThrottleForCore
+// must track every register mutation that can change them — CLOS mask
+// reprogramming, core re-association, throttle changes — with no stale
+// reads in between.
+func TestMaskMemoInvalidation(t *testing.T) {
+	c, _ := newTestController(t)
+	if got := c.MaskForCore(1); got != cache.FullMask(11) {
+		t.Fatalf("reset mask = %v", got)
+	}
+	// Prime the memo for every core, then mutate one CLOS.
+	for core := 0; core < 4; core++ {
+		c.MaskForCore(core)
+		c.MBAThrottleForCore(core)
+	}
+	if err := c.SetCLOSMask(0, cache.ContiguousMask(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 4; core++ {
+		if got := c.MaskForCore(core); got != cache.ContiguousMask(0, 3) {
+			t.Fatalf("core %d mask = %v after CLOS 0 reprogram", core, got)
+		}
+	}
+	// Re-associate one core to a differently programmed CLOS.
+	if err := c.SetCLOSMask(3, cache.ContiguousMask(5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assoc(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaskForCore(2); got != cache.ContiguousMask(5, 4) {
+		t.Fatalf("re-associated core mask = %v", got)
+	}
+	if got := c.MaskForCore(1); got != cache.ContiguousMask(0, 3) {
+		t.Fatalf("unassociated core disturbed: %v", got)
+	}
+	// MBA memo follows throttle writes and association changes too.
+	if err := c.SetMBAThrottle(3, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MBAThrottleForCore(2); got != 40 {
+		t.Fatalf("throttle after reprogram = %d", got)
+	}
+	if err := c.Assoc(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MBAThrottleForCore(2); got != 0 {
+		t.Fatalf("throttle after re-association = %d", got)
+	}
+	// Repeated reads without intervening writes stay stable (served from
+	// the memo) and agree with the counted management-plane read path.
+	for i := 0; i < 3; i++ {
+		if got, want := c.MaskForCore(2), c.CLOSMask(c.CoreCLOS(2)); got != want {
+			t.Fatalf("memoized mask %v != read-path mask %v", got, want)
+		}
+	}
+}

@@ -74,6 +74,12 @@ type Platform struct {
 	skippedPolls uint64
 	ctrlSkips    *telemetry.Counter
 
+	// wctx is the reusable worker context. Workers run strictly one at a
+	// time and must not retain the *Ctx past Run, so a single platform-
+	// resident value replaces the per-worker-per-microtick heap allocation
+	// that &Ctx{...} escaping through the Worker interface used to cost.
+	wctx Ctx
+
 	tel telemetry.Sink // nil unless AttachTelemetry was called
 
 	nowNS float64
@@ -276,14 +282,15 @@ func (p *Platform) Step() {
 					continue
 				}
 				b := budget - carried
-				ctx := Ctx{
+				ctx := &p.wctx
+				*ctx = Ctx{
 					p:      p,
 					core:   core,
 					mask:   p.RDT.MaskForCore(core),
 					budget: b,
 					nowNS:  p.nowNS,
 				}
-				w.Run(&ctx)
+				w.Run(ctx)
 				used := ctx.spent
 				if used > b {
 					p.debt[core] = used - b
